@@ -1,0 +1,16 @@
+// Figure 10 reproduction: Intel Xeon Phi (Knights Corner) runtimes across a
+// 4096x4096 mesh (lower is better). Paper shape: native OpenMP F90 leads;
+// OpenMP 4.0 +45% CG / ~10% otherwise; OpenCL CG ~3x the best; RAJA native
+// substantially slower everywhere (no vectorisation through indirection);
+// Kokkos HP roughly halves flat Kokkos' CG/PPCG times.
+
+#include "bench/harness.hpp"
+#include "sim/device.hpp"
+
+int main() {
+  bench::Harness harness;
+  bench::run_device_figure(harness, tl::sim::DeviceId::kMicKnc,
+                           "Figure 10: KNC (Xeon Phi 5110P/SE10P) runtimes",
+                           "fig10_knc.csv");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 12 reproduction: percentage of STREAM bandwidth achieved by each
+// model, averaged over the three solvers, per device (higher is better).
+// Paper shape: the device-tuned ports (OpenMP 3.0, CUDA) utilise bandwidth
+// best; most portable options land within 10-20% of them; Kokkos is within
+// 10% on CPU and GPU; the KNC numbers are poor with HP recovering part.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "ports/registry.hpp"
+#include "sim/device.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tl;
+  bench::Harness harness;
+
+  std::printf("== Figure 12: %% of STREAM bandwidth achieved, averaged over "
+              "all solvers ==\n(4096x4096 mesh, higher is better)\n\n");
+  harness.print_calibration();
+
+  util::CsvWriter csv("fig12_bandwidth.csv",
+                      {"device", "model", "percent_of_stream"});
+  for (const sim::DeviceId d : sim::kAllDevices) {
+    const auto& spec = sim::device_spec(d);
+    std::printf("-- %s (STREAM %.1f GB/s) --\n", std::string(spec.name).c_str(),
+                spec.stream_bw_gbs);
+    util::Table table({"Model", "% of STREAM"});
+    for (const sim::Model m : ports::figure_models(d)) {
+      double sum = 0.0;
+      for (const core::SolverKind solver : core::kAllSolvers) {
+        const auto r = harness.modelled_solve(m, d, solver,
+                                              bench::Harness::kConvergenceMesh);
+        sum += r.bandwidth_gbs;
+      }
+      const double pct = 100.0 * (sum / 3.0) / spec.stream_bw_gbs;
+      table.row({std::string(sim::model_name(m)), util::strf("%.1f%%", pct)});
+      csv.row({std::string(sim::device_short_name(d)),
+               std::string(sim::model_id(m)), util::strf("%.2f", pct)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("CSV written to fig12_bandwidth.csv\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 8 reproduction: dual-socket Intel Xeon E5-2670 CPUs solving across
+// a 4096x4096 mesh (lower is better), plus the paper's 15-run OpenCL CPU
+// variance experiment (1631 s .. 2813 s in the paper).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace tl;
+  bench::Harness harness;
+  bench::run_device_figure(harness, sim::DeviceId::kCpuSandyBridge,
+                           "Figure 8: CPU (2x Xeon E5-2670) runtimes",
+                           "fig8_cpu.csv");
+
+  // The 15-run OpenCL variance experiment (total across the three solvers).
+  std::vector<double> totals;
+  for (std::uint64_t run = 1; run <= 15; ++run) {
+    double total = 0.0;
+    for (const core::SolverKind solver : core::kAllSolvers) {
+      total += harness
+                   .modelled_solve(sim::Model::kOpenCl,
+                                   sim::DeviceId::kCpuSandyBridge, solver,
+                                   bench::Harness::kConvergenceMesh, run)
+                   .seconds;
+    }
+    totals.push_back(total);
+  }
+  const auto s = util::summarize(totals);
+  std::printf(
+      "\nOpenCL CPU variance over 15 runs (TBB-style work stealing): "
+      "min %.0f s, max %.0f s, mean %.0f s, stddev %.0f s\n"
+      "paper reported min 1631 s / max 2813 s over 15 tests\n",
+      s.min, s.max, s.mean, s.stddev);
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Micro/ablation benchmarks (google-benchmark) for the design choices called
+// out in DESIGN.md:
+//   - per-region offload overhead vs a fused region (OpenMP 4.0 section 3.1)
+//   - flat + loop-body halo branch vs hierarchical re-encoding (Kokkos/KNC)
+//   - direct range traversal vs indirection lists (RAJA vectorisation loss)
+//   - static vs work-stealing scheduling variance (OpenCL CPU)
+// plus real host-execution microbenchmarks of the model layers themselves.
+//
+// Counters: "sim_ms" reports simulated milliseconds per iteration; wall time
+// measures the emulation layers' real host cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/kernel_catalog.hpp"
+#include "core/model_traits.hpp"
+#include "models/kokkoslike/kokkos.hpp"
+#include "models/launcher.hpp"
+#include "models/rajalike/raja.hpp"
+#include "sim/perf_model.hpp"
+
+using namespace tl;
+
+namespace {
+constexpr std::size_t kCells = 2048 * 2048;
+
+sim::LaunchInfo cg_w_info(sim::Model m) {
+  return core::make_launch_info(m, core::KernelId::kCgCalcW, kCells);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ablation: per-launch offload overhead vs fused region (OpenMP 4.0 / KNC)
+// ---------------------------------------------------------------------------
+
+static void BM_OffloadPerRegionOverhead(benchmark::State& state) {
+  const int regions = static_cast<int>(state.range(0));
+  sim::PerfModel pm(sim::Model::kOmp4, sim::DeviceId::kMicKnc);
+  auto info = cg_w_info(sim::Model::kOmp4);
+  info.bytes_read /= static_cast<std::size_t>(regions);
+  info.bytes_written /= static_cast<std::size_t>(regions);
+  double total_ns = 0.0;
+  for (auto _ : state) {
+    double ns = 0.0;
+    for (int r = 0; r < regions; ++r) ns += pm.launch_ns(info);
+    benchmark::DoNotOptimize(ns);
+    total_ns = ns;
+  }
+  // One fused region moving the same bytes:
+  auto fused = cg_w_info(sim::Model::kOmp4);
+  const double fused_ns = pm.launch_ns(fused);
+  state.counters["sim_ms"] = total_ns * 1e-6;
+  state.counters["fused_sim_ms"] = fused_ns * 1e-6;
+  state.counters["overhead_ratio"] = total_ns / fused_ns;
+}
+BENCHMARK(BM_OffloadPerRegionOverhead)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Ablation: loop-body halo branch vs hierarchical re-encoding, per device
+// ---------------------------------------------------------------------------
+
+static void BM_HaloBranchVsHierarchical(benchmark::State& state) {
+  const auto device = static_cast<sim::DeviceId>(state.range(0));
+  sim::PerfModel flat(sim::Model::kKokkos, device);
+  sim::PerfModel hp(sim::Model::kKokkosHp, device);
+  const auto flat_info = cg_w_info(sim::Model::kKokkos);
+  const auto hp_info = cg_w_info(sim::Model::kKokkosHp);
+  double ratio = 0.0;
+  for (auto _ : state) {
+    ratio = flat.launch_ns(flat_info) / hp.launch_ns(hp_info);
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["flat_over_hp"] = ratio;
+}
+BENCHMARK(BM_HaloBranchVsHierarchical)
+    ->Arg(static_cast<int>(sim::DeviceId::kCpuSandyBridge))
+    ->Arg(static_cast<int>(sim::DeviceId::kGpuK20X))
+    ->Arg(static_cast<int>(sim::DeviceId::kMicKnc));
+
+// ---------------------------------------------------------------------------
+// Ablation: indirection lists vs direct ranges (RAJA), Chebyshev kernel
+// ---------------------------------------------------------------------------
+
+static void BM_IndirectionVsRange(benchmark::State& state) {
+  const auto device = static_cast<sim::DeviceId>(state.range(0));
+  sim::PerfModel pm(sim::Model::kRaja, device);
+  auto direct = core::base_launch_info(core::KernelId::kChebyIterate, kCells);
+  auto indirect = direct;
+  indirect.traits.indirection = true;
+  double ratio = 0.0;
+  for (auto _ : state) {
+    ratio = pm.launch_ns(indirect) / pm.launch_ns(direct);
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["indirect_over_direct"] = ratio;
+}
+BENCHMARK(BM_IndirectionVsRange)
+    ->Arg(static_cast<int>(sim::DeviceId::kCpuSandyBridge))
+    ->Arg(static_cast<int>(sim::DeviceId::kMicKnc));
+
+// ---------------------------------------------------------------------------
+// Ablation: scheduler variance (static vs work stealing)
+// ---------------------------------------------------------------------------
+
+static void BM_SchedulerVariance(benchmark::State& state) {
+  sim::PerfModel ocl(sim::Model::kOpenCl, sim::DeviceId::kCpuSandyBridge);
+  const auto info = cg_w_info(sim::Model::kOpenCl);
+  double lo = 1e300, hi = 0.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ocl.begin_run(seed++);
+    const double ns = ocl.launch_ns(info);
+    lo = std::min(lo, ns);
+    hi = std::max(hi, ns);
+    benchmark::DoNotOptimize(ns);
+  }
+  state.counters["max_over_min"] = hi / lo;
+}
+BENCHMARK(BM_SchedulerVariance)->Iterations(50);
+
+// ---------------------------------------------------------------------------
+// Real host cost of the emulation layers (wall time)
+// ---------------------------------------------------------------------------
+
+static void BM_KokkosLikeParallelFor(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  kokkoslike::Context ctx(sim::Model::kKokkos, sim::DeviceId::kCpuSandyBridge);
+  kokkoslike::View a("a", n, n), b("b", n, n);
+  const auto info =
+      core::make_launch_info(sim::Model::kKokkos, core::KernelId::kCgCalcP,
+                             static_cast<std::size_t>(n) * n);
+  for (auto _ : state) {
+    ctx.parallel_for(info, {0, static_cast<std::int64_t>(n) * n},
+                     [=](std::int64_t i) {
+                       b[static_cast<std::size_t>(i)] =
+                           2.0 * a[static_cast<std::size_t>(i)] + 1.0;
+                     });
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KokkosLikeParallelFor)->Arg(128)->Arg(512);
+
+static void BM_RajaLikeForallList(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rajalike::Context ctx(sim::Model::kRaja, sim::DeviceId::kCpuSandyBridge);
+  const auto iset = rajalike::make_interior_index_set(n, n, 2);
+  std::vector<double> a(static_cast<std::size_t>(n + 4) * (n + 4), 1.0);
+  const auto info = core::make_launch_info(
+      sim::Model::kRaja, core::KernelId::kCgCalcP,
+      static_cast<std::size_t>(n) * n);
+  for (auto _ : state) {
+    ctx.forall<rajalike::omp_parallel_for_exec>(
+        info, iset, [&](std::int64_t i) {
+          a[static_cast<std::size_t>(i)] *= 1.0000001;
+        });
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_RajaLikeForallList)->Arg(128)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+#include "bench/harness.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/driver.hpp"
+#include "core/phantom_kernels.hpp"
+#include "ports/registry.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace bench {
+
+using namespace tl;
+using core::SolverKind;
+
+Harness::Harness(std::vector<int> ladder)
+    : proto_(core::Settings::default_problem()) {
+  if (ladder.empty()) ladder = core::default_calibration_ladder();
+  for (const SolverKind solver : core::kAllSolvers) {
+    models_.emplace(solver,
+                    core::calibrate_iteration_model(solver, proto_, ladder));
+  }
+  // The paper's benchmark runs multiple implicit steps at the convergence
+  // mesh; four steps lands the absolute runtimes in the paper's range
+  // (hundreds to thousands of seconds) while preserving every ratio.
+  proto_.end_step = 4;
+}
+
+const core::IterationModel& Harness::iteration_model(SolverKind solver) const {
+  return models_.at(solver);
+}
+
+int Harness::predicted_outer(SolverKind solver, int nx) const {
+  int outer = models_.at(solver).predict_outer(nx);
+  // Chebyshev needs at least the bootstrap plus one main-loop check window.
+  if (solver == SolverKind::kCheby) {
+    outer = std::max(outer, proto_.cg_prep_iters + 1 + proto_.check_interval);
+  }
+  return outer;
+}
+
+SolveResult Harness::modelled_solve(sim::Model model, sim::DeviceId device,
+                                    SolverKind solver, int nx,
+                                    std::uint64_t run_seed) const {
+  core::Settings s = proto_;
+  s.nx = s.ny = nx;
+  s.solver = solver;
+  if (solver == SolverKind::kPpcg) {
+    s.ppcg_inner_steps = core::recommended_ppcg_inner_steps(nx);
+  }
+
+  const int outer = predicted_outer(solver, nx);
+  core::PhantomScript script;
+  script.eps = s.eps;
+  if (solver == SolverKind::kCheby) {
+    script.converge_after_ur = s.cg_prep_iters;
+    script.converge_after_cheby =
+        std::max(1, outer - s.cg_prep_iters - 1);
+    script.converge_on_ur = false;
+  } else {
+    script.converge_after_ur = outer;
+    script.converge_on_ur = (solver == SolverKind::kCg);
+  }
+
+  core::Driver driver(s,
+                      std::make_unique<core::PhantomKernels>(
+                          model, device, core::Mesh(nx, nx, s.halo_depth),
+                          script, run_seed),
+                      core::DriverOptions{.materialize_host_state = false});
+  const core::RunReport report = driver.run();
+
+  SolveResult result;
+  result.model = model;
+  result.device = device;
+  result.solver = solver;
+  result.nx = nx;
+  result.outer_iterations = report.steps[0].solve.iterations;
+  result.seconds = report.sim_total_seconds;
+  result.bandwidth_gbs = report.achieved_bandwidth_gbs;
+  result.launches = report.kernel_launches;
+  return result;
+}
+
+std::vector<int> Harness::fig11_meshes() {
+  std::vector<int> meshes;
+  for (int k = 1; k <= 10; ++k) {
+    meshes.push_back(
+        static_cast<int>(std::lround(std::sqrt(k * 1.5e5))));
+  }
+  return meshes;  // 387 .. 1225
+}
+
+void Harness::print_calibration() const {
+  std::printf(
+      "calibration: real solves on the reference kernels fit "
+      "iters = c * nx^p per solver\n");
+  for (const SolverKind solver : core::kAllSolvers) {
+    const auto& m = models_.at(solver);
+    std::printf("  %-9s c=%8.3f p=%5.3f r2=%6.4f  4096^2 -> %d outer iters\n",
+                std::string(core::solver_name(solver)).c_str(),
+                m.outer_fit.coefficient, m.outer_fit.exponent, m.outer_fit.r2,
+                predicted_outer(solver, kConvergenceMesh));
+  }
+  std::printf(
+      "timing: simulated (device performance models; see DESIGN.md §5 and "
+      "src/sim/codegen.cpp for the calibrated constants)\n\n");
+}
+
+std::string fmt_seconds(double s) { return util::strf("%.1f", s); }
+
+void run_device_figure(const Harness& harness, sim::DeviceId device,
+                       const std::string& title, const std::string& csv_path) {
+  std::printf("== %s ==\n(4096x4096 mesh, runtimes in simulated seconds, "
+              "lower is better)\n\n", title.c_str());
+  harness.print_calibration();
+
+  util::CsvWriter csv(csv_path, {"model", "solver", "seconds",
+                                 "bandwidth_gbs", "outer_iterations"});
+  util::Table table({"Model", "CG", "Chebyshev", "PPCG"});
+  for (const sim::Model m : ports::figure_models(device)) {
+    std::vector<std::string> row{std::string(sim::model_name(m))};
+    for (const SolverKind solver : core::kAllSolvers) {
+      const SolveResult r = harness.modelled_solve(m, device, solver,
+                                                   Harness::kConvergenceMesh);
+      row.push_back(fmt_seconds(r.seconds));
+      csv.row({std::string(sim::model_id(m)),
+               std::string(core::solver_name(solver)),
+               util::strf("%.3f", r.seconds),
+               util::strf("%.2f", r.bandwidth_gbs),
+               util::strf("%d", r.outer_iterations)});
+    }
+    table.row(std::move(row));
+  }
+  table.print();
+  std::printf("\nCSV written to %s\n", csv_path.c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,74 @@
+#pragma once
+// Shared bench harness for the paper-reproduction binaries (one per table /
+// figure, see DESIGN.md's per-experiment index).
+//
+// Pipeline: real small-mesh solves calibrate the per-solver iteration power
+// law; paper-scale meshes are then metered through PhantomKernels with the
+// same kernel catalogue and per-model trait decoration the live ports use
+// (pinned by the port<->replay consistency tests).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/iteration_model.hpp"
+#include "core/settings.hpp"
+#include "sim/device.hpp"
+#include "sim/model_id.hpp"
+
+namespace bench {
+
+struct SolveResult {
+  tl::sim::Model model;
+  tl::sim::DeviceId device;
+  tl::core::SolverKind solver;
+  int nx = 0;
+  int outer_iterations = 0;
+  double seconds = 0.0;            // simulated runtime
+  double bandwidth_gbs = 0.0;      // achieved main-memory bandwidth
+  std::uint64_t launches = 0;
+};
+
+class Harness {
+ public:
+  /// Calibrates iteration power laws for all three solvers by running real
+  /// solves on the reference kernels over `ladder` (defaults to
+  /// core::default_calibration_ladder()).
+  explicit Harness(std::vector<int> ladder = {});
+
+  const tl::core::IterationModel& iteration_model(
+      tl::core::SolverKind solver) const;
+
+  /// Predicted outer iterations at mesh size nx (square meshes).
+  int predicted_outer(tl::core::SolverKind solver, int nx) const;
+
+  /// Paper-scale modelled solve: one timestep at nx^2 under (model, device),
+  /// iterations from the calibrated fit, metered via PhantomKernels.
+  SolveResult modelled_solve(tl::sim::Model model, tl::sim::DeviceId device,
+                             tl::core::SolverKind solver, int nx,
+                             std::uint64_t run_seed = 1) const;
+
+  /// The paper's headline mesh (the mesh-convergence point).
+  static constexpr int kConvergenceMesh = 4096;
+
+  /// Fig 11 mesh ladder: ~k * 1.5e5 cells, k = 1..10 (up to 1225^2).
+  static std::vector<int> fig11_meshes();
+
+  /// Prints the calibration block every figure bench leads with.
+  void print_calibration() const;
+
+ private:
+  tl::core::Settings proto_;
+  std::map<tl::core::SolverKind, tl::core::IterationModel> models_;
+};
+
+/// Formats seconds for table cells ("1234.5").
+std::string fmt_seconds(double s);
+
+/// Shared driver for the per-device runtime figures (paper Figs 8/9/10):
+/// each figure model x {CG, Chebyshev, PPCG} at the 4096^2 convergence mesh,
+/// printed as a table and written to `csv_path`.
+void run_device_figure(const Harness& harness, tl::sim::DeviceId device,
+                       const std::string& title, const std::string& csv_path);
+
+}  // namespace bench

@@ -1,0 +1,73 @@
+#include "comm/decomposition.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+namespace tl::comm {
+
+std::pair<int, int> BlockDecomposition::best_grid(int nx, int ny, int nranks) {
+  // Minimise the halo surface: for px*py == nranks, the exchanged surface is
+  // proportional to px*ny + py*nx. Try every factorisation.
+  double best_cost = std::numeric_limits<double>::max();
+  std::pair<int, int> best{1, nranks};
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    const int py = nranks / px;
+    if (px > nx || py > ny) continue;
+    const double cost = static_cast<double>(px) * ny + static_cast<double>(py) * nx;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = {px, py};
+    }
+  }
+  if (best.first > nx || best.second > ny) {
+    throw std::invalid_argument("BlockDecomposition: more ranks than cells");
+  }
+  return best;
+}
+
+BlockDecomposition::BlockDecomposition(int global_nx, int global_ny, int nranks)
+    : global_nx_(global_nx), global_ny_(global_ny) {
+  if (global_nx <= 0 || global_ny <= 0) {
+    throw std::invalid_argument("BlockDecomposition: mesh must be positive");
+  }
+  if (nranks <= 0) {
+    throw std::invalid_argument("BlockDecomposition: nranks must be positive");
+  }
+  const auto [gx, gy] = best_grid(global_nx, global_ny, nranks);
+  grid_x_ = gx;
+  grid_y_ = gy;
+
+  // Even split; the first `rem` tiles in each dimension get one extra cell.
+  auto split = [](int cells, int parts, int index) {
+    const int base = cells / parts;
+    const int rem = cells % parts;
+    const int begin = index * base + std::min(index, rem);
+    const int extent = base + (index < rem ? 1 : 0);
+    return std::pair<int, int>{begin, begin + extent};
+  };
+
+  tiles_.resize(static_cast<std::size_t>(nranks));
+  for (int py = 0; py < grid_y_; ++py) {
+    for (int px = 0; px < grid_x_; ++px) {
+      const int rank = py * grid_x_ + px;
+      Tile& t = tiles_[static_cast<std::size_t>(rank)];
+      t.rank = rank;
+      t.px = px;
+      t.py = py;
+      std::tie(t.x_begin, t.x_end) = split(global_nx, grid_x_, px);
+      std::tie(t.y_begin, t.y_end) = split(global_ny, grid_y_, py);
+      t.neighbour[static_cast<std::size_t>(Face::kLeft)] =
+          (px > 0) ? rank - 1 : -1;
+      t.neighbour[static_cast<std::size_t>(Face::kRight)] =
+          (px + 1 < grid_x_) ? rank + 1 : -1;
+      t.neighbour[static_cast<std::size_t>(Face::kBottom)] =
+          (py > 0) ? rank - grid_x_ : -1;
+      t.neighbour[static_cast<std::size_t>(Face::kTop)] =
+          (py + 1 < grid_y_) ? rank + grid_x_ : -1;
+    }
+  }
+}
+
+}  // namespace tl::comm

@@ -1,0 +1,55 @@
+#pragma once
+// 2-D block decomposition of the global mesh over ranks, following TeaLeaf's
+// chunking: choose the process grid px*py == nranks that minimises the
+// communication surface, then split cells as evenly as possible (earlier
+// rows/columns take the remainder).
+
+#include <array>
+#include <vector>
+
+namespace tl::comm {
+
+/// Neighbour directions in the 5-point stencil exchange.
+enum class Face { kLeft = 0, kRight = 1, kBottom = 2, kTop = 3 };
+inline constexpr std::array<Face, 4> kAllFaces = {Face::kLeft, Face::kRight,
+                                                  Face::kBottom, Face::kTop};
+
+struct Tile {
+  int rank = 0;
+  int px = 0, py = 0;       // position in the process grid
+  int x_begin = 0, x_end = 0;  // global cell range [begin, end)
+  int y_begin = 0, y_end = 0;
+  std::array<int, 4> neighbour = {-1, -1, -1, -1};  // rank per Face or -1
+
+  int nx() const noexcept { return x_end - x_begin; }
+  int ny() const noexcept { return y_end - y_begin; }
+  int neighbour_of(Face f) const noexcept {
+    return neighbour[static_cast<std::size_t>(f)];
+  }
+  bool has_neighbour(Face f) const noexcept { return neighbour_of(f) >= 0; }
+};
+
+class BlockDecomposition {
+ public:
+  /// Throws std::invalid_argument for non-positive sizes/ranks or when there
+  /// are more ranks than cells.
+  BlockDecomposition(int global_nx, int global_ny, int nranks);
+
+  int nranks() const noexcept { return static_cast<int>(tiles_.size()); }
+  int grid_x() const noexcept { return grid_x_; }
+  int grid_y() const noexcept { return grid_y_; }
+  int global_nx() const noexcept { return global_nx_; }
+  int global_ny() const noexcept { return global_ny_; }
+
+  const Tile& tile(int rank) const { return tiles_.at(static_cast<std::size_t>(rank)); }
+  const std::vector<Tile>& tiles() const noexcept { return tiles_; }
+
+ private:
+  static std::pair<int, int> best_grid(int nx, int ny, int nranks);
+
+  int global_nx_, global_ny_;
+  int grid_x_ = 1, grid_y_ = 1;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace tl::comm

@@ -1,0 +1,195 @@
+#include "comm/minimpi.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace tl::comm {
+
+namespace {
+// Tags at or above this value are reserved for collectives built on
+// point-to-point messaging.
+constexpr int kCollectiveTagBase = 1 << 24;
+constexpr int kTagBroadcast = kCollectiveTagBase + 1;
+constexpr int kTagReduceUp = kCollectiveTagBase + 2;
+constexpr int kTagReduceDown = kCollectiveTagBase + 3;
+constexpr int kTagGather = kCollectiveTagBase + 4;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(int nranks) : nranks_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("World: nranks must be > 0");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+World::~World() = default;
+
+Communicator World::communicator(int rank) {
+  if (rank < 0 || rank >= nranks_) {
+    throw std::out_of_range("World::communicator: bad rank");
+  }
+  return Communicator(this, rank);
+}
+
+void World::send_impl(int source, int dest, int tag,
+                      std::span<const double> data) {
+  if (dest < 0 || dest >= nranks_) {
+    throw std::out_of_range("send: bad destination rank");
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(
+        Message{source, tag, std::vector<double>(data.begin(), data.end())});
+  }
+  box.cv.notify_all();
+}
+
+void World::recv_impl(int rank, int source, int tag, std::span<double> data) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != box.messages.end()) {
+      if (it->payload.size() != data.size()) {
+        throw std::runtime_error("recv: message size mismatch");
+      }
+      std::copy(it->payload.begin(), it->payload.end(), data.begin());
+      box.messages.erase(it);
+      return;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void World::barrier_impl() {
+  std::unique_lock<std::mutex> lock(collective_.mutex);
+  const std::uint64_t my_generation = collective_.generation;
+  if (++collective_.arrived == nranks_) {
+    collective_.arrived = 0;
+    ++collective_.generation;
+    collective_.cv.notify_all();
+    return;
+  }
+  collective_.cv.wait(lock, [&] {
+    return collective_.generation != my_generation;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+// ---------------------------------------------------------------------------
+
+int Communicator::size() const noexcept { return world_->size(); }
+
+void Communicator::send(std::span<const double> data, int dest, int tag) {
+  world_->send_impl(rank_, dest, tag, data);
+}
+
+void Communicator::recv(std::span<double> data, int source, int tag) {
+  world_->recv_impl(rank_, source, tag, data);
+}
+
+void Communicator::sendrecv(std::span<const double> send_data, int dest,
+                            std::span<double> recv_data, int source, int tag) {
+  // Sends are buffered (never block), so send-then-receive cannot deadlock.
+  if (dest != kNoRank) world_->send_impl(rank_, dest, tag, send_data);
+  if (source != kNoRank) world_->recv_impl(rank_, source, tag, recv_data);
+}
+
+void Communicator::barrier() { world_->barrier_impl(); }
+
+void Communicator::broadcast(std::span<double> data, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) world_->send_impl(rank_, r, kTagBroadcast, data);
+    }
+  } else {
+    world_->recv_impl(rank_, root, kTagBroadcast, data);
+  }
+}
+
+void Communicator::allreduce(std::span<double> values, ReduceOp op) {
+  // Reduce-to-root then broadcast. Rank order of accumulation is fixed
+  // (0..P-1), so the result is deterministic.
+  constexpr int root = 0;
+  if (rank_ == root) {
+    std::vector<double> incoming(values.size());
+    for (int r = 1; r < size(); ++r) {
+      world_->recv_impl(rank_, r, kTagReduceUp, incoming);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        switch (op) {
+          case ReduceOp::kSum: values[i] += incoming[i]; break;
+          case ReduceOp::kMin: values[i] = std::min(values[i], incoming[i]); break;
+          case ReduceOp::kMax: values[i] = std::max(values[i], incoming[i]); break;
+        }
+      }
+    }
+    for (int r = 1; r < size(); ++r) {
+      world_->send_impl(rank_, r, kTagReduceDown, values);
+    }
+  } else {
+    world_->send_impl(rank_, root, kTagReduceUp, values);
+    world_->recv_impl(rank_, root, kTagReduceDown, values);
+  }
+}
+
+double Communicator::allreduce(double value, ReduceOp op) {
+  double buf[1] = {value};
+  allreduce(std::span<double>(buf, 1), op);
+  return buf[0];
+}
+
+std::vector<double> Communicator::gather(double value, int root) {
+  if (rank_ == root) {
+    std::vector<double> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)] = value;
+    double buf[1];
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      world_->recv_impl(rank_, r, kTagGather, buf);
+      out[static_cast<std::size_t>(r)] = buf[0];
+    }
+    return out;
+  }
+  const double buf[1] = {value};
+  world_->send_impl(rank_, root, kTagGather, buf);
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// run_ranks
+// ---------------------------------------------------------------------------
+
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
+  World world(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &body, &errors, r] {
+      try {
+        Communicator comm = world.communicator(r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tl::comm

@@ -1,0 +1,113 @@
+#pragma once
+// MiniComm: an in-process message-passing substrate.
+//
+// The paper notes every evaluated model stops at node-level parallelism and
+// TeaLeaf handles inter-node communication with MPI. This environment has no
+// MPI (and no second node), so we provide the same primitives — ranks,
+// blocking tagged send/recv, sendrecv, barrier, broadcast, allreduce — over
+// threads in one process. Each rank runs as a std::thread; mailboxes are
+// mutex+condvar protected queues. Semantics follow MPI's blocking point-to-
+// point model closely enough that the TeaLeaf halo-exchange driver code is
+// shaped exactly as it would be over real MPI.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace tl::comm {
+
+class World;
+
+/// Per-rank handle passed to the rank body. Thread-compatible: each rank
+/// uses its own Communicator from its own thread.
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Blocking tagged send/recv of doubles. Messages between a (source,
+  /// dest, tag) triple are delivered in order.
+  void send(std::span<const double> data, int dest, int tag);
+  void recv(std::span<double> data, int source, int tag);
+
+  /// Exchange with two peers in one step (the halo-exchange primitive).
+  /// Either peer may be kNoRank, in which case that direction is skipped.
+  static constexpr int kNoRank = -1;
+  void sendrecv(std::span<const double> send_data, int dest,
+                std::span<double> recv_data, int source, int tag);
+
+  void barrier();
+
+  /// Broadcast from root into `data` on every rank.
+  void broadcast(std::span<double> data, int root);
+
+  enum class ReduceOp { kSum, kMin, kMax };
+  double allreduce(double value, ReduceOp op);
+  void allreduce(std::span<double> values, ReduceOp op);
+
+  /// Gather one double from every rank to root; non-roots get empty results.
+  std::vector<double> gather(double value, int root);
+
+ private:
+  friend class World;
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+/// Runs `body(comm)` on `nranks` threads, each with its own rank. Any
+/// exception thrown by a rank is rethrown (first rank's exception wins)
+/// after all threads join.
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body);
+
+/// The shared state behind a set of communicators. Exposed for tests that
+/// want to drive ranks manually instead of via run_ranks.
+class World {
+ public:
+  explicit World(int nranks);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept { return nranks_; }
+  Communicator communicator(int rank);
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int source;
+    int tag;
+    std::vector<double> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  struct CollectiveState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    std::vector<double> scratch;
+  };
+
+  void send_impl(int source, int dest, int tag, std::span<const double> data);
+  void recv_impl(int rank, int source, int tag, std::span<double> data);
+  void barrier_impl();
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  CollectiveState collective_;
+};
+
+}  // namespace tl::comm

@@ -1,0 +1,93 @@
+#include "core/driver.hpp"
+
+#include <stdexcept>
+
+#include "core/state_init.hpp"
+
+namespace tl::core {
+
+namespace {
+Mesh mesh_from_settings(const Settings& s) {
+  Mesh mesh(s.nx, s.ny, s.halo_depth);
+  mesh.x_min = s.x_min;
+  mesh.x_max = s.x_max;
+  mesh.y_min = s.y_min;
+  mesh.y_max = s.y_max;
+  return mesh;
+}
+}  // namespace
+
+Driver::Driver(const Settings& settings, std::unique_ptr<SolverKernels> kernels,
+               DriverOptions options)
+    : settings_(settings),
+      mesh_(mesh_from_settings(settings)),
+      kernels_(std::move(kernels)) {
+  settings_.validate();
+  if (!kernels_) throw std::invalid_argument("Driver: null kernels");
+  if (options.materialize_host_state) {
+    chunk_.emplace(mesh_);
+    apply_initial_states(*chunk_, settings_);
+  } else {
+    placeholder_.emplace(Mesh(1, 1, 1));
+  }
+}
+
+const Chunk& Driver::chunk() const {
+  if (!chunk_) {
+    throw std::logic_error("Driver::chunk: lightweight mode has no host state");
+  }
+  return *chunk_;
+}
+
+StepReport Driver::run_step() {
+  StepReport report;
+  report.step = ++step_;
+  report.dt = settings_.dt_init;
+
+  const double start_ns = kernels_->clock().elapsed_ns();
+
+  // TeaLeaf's per-step sequence: map state onto the device, form u/u0 and
+  // the face coefficients, make halos consistent, solve, finalise.
+  kernels_->upload_state(chunk_ ? *chunk_ : *placeholder_);
+  kernels_->halo_update(kMaskDensity | kMaskEnergy0, mesh_.halo_depth);
+  kernels_->init_u();
+
+  const double rx = report.dt / (mesh_.dx() * mesh_.dx());
+  const double ry = report.dt / (mesh_.dy() * mesh_.dy());
+  kernels_->init_coefficients(settings_.coefficient, rx, ry);
+  kernels_->halo_update(kMaskU, 1);
+
+  report.solve = solve(settings_.solver, *kernels_,
+                       SolveOptions::from_settings(settings_));
+
+  kernels_->finalise();
+  report.summary = kernels_->field_summary();
+  kernels_->download_energy(chunk_ ? *chunk_ : *placeholder_);
+
+  // Advance the state for the next step: energy0 <- energy (host side; the
+  // next upload_state ships it back).
+  if (chunk_) {
+    const auto energy = chunk_->field(FieldId::kEnergy);
+    auto energy0 = chunk_->field(FieldId::kEnergy0);
+    for (int y = 0; y < mesh_.padded_ny(); ++y) {
+      for (int x = 0; x < mesh_.padded_nx(); ++x) energy0(x, y) = energy(x, y);
+    }
+  }
+
+  report.sim_step_ns = kernels_->clock().elapsed_ns() - start_ns;
+  return report;
+}
+
+RunReport Driver::run() {
+  RunReport report;
+  for (int s = 0; s < settings_.end_step; ++s) {
+    report.steps.push_back(run_step());
+  }
+  const auto& clock = kernels_->clock();
+  report.sim_total_seconds = clock.elapsed_seconds();
+  report.achieved_bandwidth_gbs = clock.achieved_bandwidth_gbs();
+  report.kernel_launches = clock.launches();
+  return report;
+}
+
+}  // namespace tl::core

@@ -1,0 +1,129 @@
+#include "core/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::core {
+
+Tridiagonal lanczos_tridiagonal(std::span<const double> alphas,
+                                std::span<const double> betas) {
+  if (alphas.size() < 2 || betas.size() + 1 < alphas.size()) {
+    throw std::invalid_argument(
+        "lanczos_tridiagonal: need >=2 alphas and matching betas");
+  }
+  const std::size_t n = alphas.size();
+  Tridiagonal t;
+  t.diag.resize(n);
+  t.off.resize(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (alphas[k] <= 0.0) {
+      throw std::invalid_argument("lanczos_tridiagonal: alpha <= 0");
+    }
+    t.diag[k] = 1.0 / alphas[k];
+    if (k > 0) {
+      if (betas[k - 1] < 0.0) {
+        throw std::invalid_argument("lanczos_tridiagonal: beta < 0");
+      }
+      t.diag[k] += betas[k - 1] / alphas[k - 1];
+      t.off[k] = std::sqrt(betas[k - 1]) / alphas[k - 1];
+    }
+  }
+  return t;
+}
+
+int sturm_count(const Tridiagonal& t, double x) {
+  // Count sign agreements of the Sturm sequence d_k = (diag_k - x) -
+  // off_k^2 / d_{k-1}; the number of negative d_k equals the number of
+  // eigenvalues below x.
+  int count = 0;
+  double d = 1.0;
+  constexpr double tiny = 1e-300;
+  for (std::size_t k = 0; k < t.diag.size(); ++k) {
+    const double off2 = (k == 0) ? 0.0 : t.off[k] * t.off[k];
+    d = t.diag[k] - x - off2 / d;
+    if (d == 0.0) d = -tiny;
+    if (d < 0.0) ++count;
+  }
+  return count;
+}
+
+namespace {
+double bisect_for_count(const Tridiagonal& t, int target_below, double lo,
+                        double hi, double tol) {
+  // Smallest x such that sturm_count(x) >= target_below.
+  for (int it = 0; it < 200 && (hi - lo) > tol * std::max(1.0, std::abs(hi));
+       ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (sturm_count(t, mid) >= target_below) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+}  // namespace
+
+EigenEstimate extremal_eigenvalues(const Tridiagonal& t, double tol) {
+  if (t.diag.empty()) return {};
+  // Gershgorin bounds.
+  double lo = t.diag[0], hi = t.diag[0];
+  for (std::size_t k = 0; k < t.diag.size(); ++k) {
+    const double left = (k == 0) ? 0.0 : std::abs(t.off[k]);
+    const double right = (k + 1 == t.diag.size()) ? 0.0 : std::abs(t.off[k + 1]);
+    lo = std::min(lo, t.diag[k] - left - right);
+    hi = std::max(hi, t.diag[k] + left + right);
+  }
+  const int n = static_cast<int>(t.diag.size());
+  EigenEstimate e;
+  e.min = bisect_for_count(t, 1, lo, hi, tol);
+  e.max = bisect_for_count(t, n, lo, hi, tol);
+  e.valid = e.min > 0.0 && e.max >= e.min;
+  return e;
+}
+
+EigenEstimate estimate_spectrum(std::span<const double> alphas,
+                                std::span<const double> betas, double safety) {
+  const Tridiagonal t = lanczos_tridiagonal(alphas, betas);
+  EigenEstimate e = extremal_eigenvalues(t);
+  if (!e.valid) return e;
+  e.min *= (1.0 - safety);
+  e.max *= (1.0 + safety);
+  return e;
+}
+
+ChebyCoefficients cheby_coefficients(double eig_min, double eig_max,
+                                     int max_iters) {
+  if (!(eig_min > 0.0) || !(eig_max > eig_min)) {
+    throw std::invalid_argument("cheby_coefficients: need 0 < min < max");
+  }
+  ChebyCoefficients c;
+  c.theta = 0.5 * (eig_max + eig_min);
+  c.delta = 0.5 * (eig_max - eig_min);
+  c.sigma = c.theta / c.delta;
+  c.alphas.reserve(static_cast<std::size_t>(max_iters));
+  c.betas.reserve(static_cast<std::size_t>(max_iters));
+  double rho = 1.0 / c.sigma;
+  for (int k = 0; k < max_iters; ++k) {
+    const double rho_new = 1.0 / (2.0 * c.sigma - rho);
+    c.alphas.push_back(rho_new * rho);
+    c.betas.push_back(2.0 * rho_new / c.delta);
+    rho = rho_new;
+  }
+  return c;
+}
+
+int cheby_iteration_estimate(double eig_min, double eig_max,
+                             double eps_ratio) {
+  if (!(eig_min > 0.0) || !(eig_max > eig_min) || !(eps_ratio > 0.0) ||
+      eps_ratio >= 1.0) {
+    throw std::invalid_argument("cheby_iteration_estimate: bad inputs");
+  }
+  const double cn = eig_max / eig_min;
+  const double rate = (std::sqrt(cn) - 1.0) / (std::sqrt(cn) + 1.0);
+  return std::max(1, static_cast<int>(std::ceil(std::log(eps_ratio) /
+                                                std::log(rate))));
+}
+
+}  // namespace tl::core

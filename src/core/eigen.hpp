@@ -1,0 +1,59 @@
+#pragma once
+// Eigenvalue estimation for the Chebyshev and PPCG solvers.
+//
+// TeaLeaf bootstraps those solvers with CG iterations: the CG alpha/beta
+// scalars define a Lanczos tridiagonal whose extremal eigenvalues
+// approximate the spectrum of A. We find them with Gershgorin bounds plus
+// Sturm-sequence bisection (the approach of TeaLeaf's tqli-free variant).
+
+#include <span>
+#include <vector>
+
+namespace tl::core {
+
+struct EigenEstimate {
+  double min = 0.0;
+  double max = 0.0;
+  bool valid = false;
+};
+
+/// Builds the Lanczos tridiagonal from CG coefficients:
+///   diag[0] = 1/alpha[0]
+///   diag[k] = 1/alpha[k] + beta[k-1]/alpha[k-1]
+///   off[k]  = sqrt(beta[k-1]) / alpha[k-1]     (k >= 1)
+struct Tridiagonal {
+  std::vector<double> diag;
+  std::vector<double> off;  // off[k] couples k-1 and k; off[0] unused
+};
+Tridiagonal lanczos_tridiagonal(std::span<const double> alphas,
+                                std::span<const double> betas);
+
+/// Number of eigenvalues of T strictly less than x (Sturm sequence count).
+int sturm_count(const Tridiagonal& t, double x);
+
+/// Extremal eigenvalues via bisection to `tol` relative accuracy.
+EigenEstimate extremal_eigenvalues(const Tridiagonal& t, double tol = 1e-12);
+
+/// End-to-end: CG scalars -> widened spectrum estimate. `safety` expands the
+/// interval by min*(1-safety), max*(1+safety) — Chebyshev diverges if the
+/// true spectrum pokes outside the assumed interval, so TeaLeaf widens it.
+EigenEstimate estimate_spectrum(std::span<const double> alphas,
+                                std::span<const double> betas, double safety);
+
+/// Chebyshev recurrence coefficients for the spectrum [eig_min, eig_max]:
+/// theta, delta, sigma and the per-iteration (alpha, beta) pairs.
+struct ChebyCoefficients {
+  double theta = 0.0;
+  double delta = 0.0;
+  double sigma = 0.0;
+  std::vector<double> alphas;
+  std::vector<double> betas;
+};
+ChebyCoefficients cheby_coefficients(double eig_min, double eig_max,
+                                     int max_iters);
+
+/// Iterations Chebyshev needs to shrink the error by `eps_ratio`, from the
+/// classic convergence bound with condition number cn (TeaLeaf's estimate).
+int cheby_iteration_estimate(double eig_min, double eig_max, double eps_ratio);
+
+}  // namespace tl::core

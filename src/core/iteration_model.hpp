@@ -1,0 +1,52 @@
+#pragma once
+// IterationModel: power-law extrapolation of solver iteration counts.
+//
+// The paper's headline mesh (4096^2 = 1.7e7 cells x thousands of solver
+// iterations) is not numerically computable in this environment, but
+// iteration counts of Krylov/Chebyshev solvers on this family of problems
+// follow clean power laws in the linear mesh size. We run *real* solves at a
+// ladder of small meshes (ReferenceKernels), fit iters = c * nx^p, and use
+// the fit to script the analytic big-mesh replays. The fit quality (r^2) is
+// part of EXPERIMENTS.md.
+
+#include <span>
+#include <vector>
+
+#include "core/settings.hpp"
+#include "core/solvers.hpp"
+#include "util/stats.hpp"
+
+namespace tl::core {
+
+struct CalibrationPoint {
+  int nx = 0;
+  int outer_iterations = 0;
+  int inner_iterations = 0;
+  bool converged = false;
+};
+
+struct IterationModel {
+  SolverKind solver = SolverKind::kCg;
+  /// Constant part of the iteration count that does not scale with the mesh
+  /// (the CG eigen-estimation bootstrap for Chebyshev/PPCG); the power law
+  /// is fitted to (iterations - offset) so the floor doesn't distort the
+  /// exponent, and added back by predict_outer.
+  int offset = 0;
+  tl::util::PowerFit outer_fit;       // (outer iterations - offset) vs nx
+  double inner_per_outer = 0.0;       // PPCG smoothing steps per outer
+  std::vector<CalibrationPoint> points;
+
+  int predict_outer(int nx) const;
+};
+
+/// Runs real solves (ReferenceKernels, one step of `proto` resized to each
+/// ladder entry) and fits the power law. `proto`'s solver field is ignored
+/// in favour of `solver`.
+IterationModel calibrate_iteration_model(SolverKind solver,
+                                         const Settings& proto,
+                                         std::span<const int> mesh_sizes);
+
+/// The default calibration ladder used by the benches.
+std::vector<int> default_calibration_ladder();
+
+}  // namespace tl::core

@@ -1,0 +1,70 @@
+#include "core/kernel_catalog.hpp"
+
+namespace tl::core {
+
+namespace {
+constexpr double kCgSensitivity = 0.2;
+constexpr double kFusedSensitivity = 0.4;  // Chebyshev/PPCG fused iterate
+
+constexpr std::array kCatalog = {
+    KernelCost{"init_u", 2, 2, 2, false, kCgSensitivity},
+    KernelCost{"init_coef", 1, 2, 8, false, kCgSensitivity},
+    KernelCost{"calc_residual", 4, 1, 13, false, kCgSensitivity},
+    KernelCost{"calc_2norm", 1, 0, 2, true, kCgSensitivity},
+    KernelCost{"finalise", 2, 1, 1, false, kCgSensitivity},
+    KernelCost{"field_summary", 3, 0, 9, true, kCgSensitivity},
+    KernelCost{"cg_init", 4, 3, 15, true, kCgSensitivity},
+    KernelCost{"cg_calc_w", 3, 1, 13, true, kCgSensitivity},
+    KernelCost{"cg_calc_ur", 4, 2, 6, true, kCgSensitivity},
+    KernelCost{"cg_calc_p", 2, 1, 2, false, kCgSensitivity},
+    KernelCost{"cheby_init", 2, 2, 3, false, kCgSensitivity},
+    KernelCost{"cheby_iterate", 7, 3, 18, false, kFusedSensitivity},
+    KernelCost{"ppcg_init_sd", 1, 1, 1, false, kCgSensitivity},
+    // The PPCG inner step is fused but less vector-bound than the Chebyshev
+    // iterate (paper section 4.1: RAJA penalties were ~20% for CG *and*
+    // PPCG vs ~40% for Chebyshev).
+    KernelCost{"ppcg_inner", 7, 3, 18, false, 0.25},
+    KernelCost{"jacobi_copy_u", 1, 1, 0, false, kCgSensitivity},
+    KernelCost{"jacobi_iterate", 4, 1, 12, false, 0.3},
+    KernelCost{"halo_update", 1, 1, 0, false, 0.0},
+};
+}  // namespace
+
+const KernelCost& kernel_cost(KernelId id) {
+  return kCatalog[static_cast<std::size_t>(id)];
+}
+
+tl::sim::LaunchInfo base_launch_info(KernelId id, std::size_t interior_cells) {
+  const KernelCost& cost = kernel_cost(id);
+  tl::sim::LaunchInfo info;
+  info.name = cost.name;
+  info.items = interior_cells;
+  info.bytes_read =
+      static_cast<std::size_t>(cost.reads) * interior_cells * sizeof(double);
+  info.bytes_written =
+      static_cast<std::size_t>(cost.writes) * interior_cells * sizeof(double);
+  info.flops = static_cast<std::size_t>(cost.flops_per_cell) * interior_cells;
+  info.working_set_bytes = info.bytes_read + info.bytes_written;
+  info.traits.reduction = cost.reduction;
+  info.traits.vector_sensitivity = cost.vector_sensitivity;
+  return info;
+}
+
+tl::sim::LaunchInfo halo_launch_info(int nx, int ny, int nfields, int depth) {
+  const KernelCost& cost = kernel_cost(KernelId::kHaloUpdate);
+  const std::size_t perimeter_cells =
+      2 * static_cast<std::size_t>(depth) *
+      (static_cast<std::size_t>(nx) + static_cast<std::size_t>(ny));
+  const std::size_t bytes =
+      perimeter_cells * static_cast<std::size_t>(nfields) * sizeof(double);
+  tl::sim::LaunchInfo info;
+  info.name = cost.name;
+  info.items = perimeter_cells * static_cast<std::size_t>(nfields);
+  info.bytes_read = bytes;
+  info.bytes_written = bytes;
+  info.working_set_bytes = 2 * bytes;
+  info.traits.vector_sensitivity = 0.0;
+  return info;
+}
+
+}  // namespace tl::core

@@ -1,0 +1,14 @@
+#include "core/kernels_api.hpp"
+
+namespace tl::core {
+
+int mask_field_count(unsigned mask) {
+  int n = 0;
+  while (mask != 0) {
+    n += static_cast<int>(mask & 1u);
+    mask >>= 1;
+  }
+  return n;
+}
+
+}  // namespace tl::core

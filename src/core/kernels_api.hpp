@@ -1,0 +1,111 @@
+#pragma once
+// SolverKernels: the contract every programming-model port implements.
+//
+// The solver drivers (cg.cpp, cheby.cpp, ppcg.cpp) contain the algorithmic
+// logic exactly once; a port supplies the kernel bodies in its model's API.
+// This mirrors the paper's methodology: "TeaLeaf's core solver logic and
+// parameters were kept consistent between ports to ensure that each of the
+// programming models were objectively compared."
+//
+// All methods operate on the port's own (possibly device-resident) field
+// storage. Scalars returned by reductions are host values.
+
+#include <memory>
+
+#include "core/fields.hpp"
+#include "core/settings.hpp"
+#include "sim/clock.hpp"
+
+namespace tl::core {
+
+/// Fields involved in a halo update (bitmask).
+enum FieldMask : unsigned {
+  kMaskU = 1u << 0,
+  kMaskP = 1u << 1,
+  kMaskSd = 1u << 2,
+  kMaskR = 1u << 3,
+  kMaskDensity = 1u << 4,
+  kMaskEnergy0 = 1u << 5,
+};
+int mask_field_count(unsigned mask);
+
+struct FieldSummary {
+  double volume = 0.0;
+  double mass = 0.0;
+  double internal_energy = 0.0;
+  double temperature = 0.0;  // volume-weighted sum of u
+};
+
+/// What calc_2norm measures.
+enum class NormTarget { kResidual, kRhs };
+
+class SolverKernels {
+ public:
+  virtual ~SolverKernels() = default;
+
+  // -- Step setup ----------------------------------------------------------
+  /// Uploads density/energy0 from the host chunk into port storage (for
+  /// offload models this is the big map-to-device).
+  virtual void upload_state(const Chunk& chunk) = 0;
+
+  /// u = u0 = energy0 * density over the interior.
+  virtual void init_u() = 0;
+
+  /// Face diffusion coefficients from density, pre-scaled by rx = dt/dx^2,
+  /// ry = dt/dy^2 (TeaLeaf's harmonic mean form).
+  virtual void init_coefficients(Coefficient coefficient, double rx,
+                                 double ry) = 0;
+
+  /// Halo update (reflective physical boundaries on the single chunk).
+  virtual void halo_update(unsigned fields, int depth) = 0;
+
+  // -- Shared kernels ------------------------------------------------------
+  virtual void calc_residual() = 0;                 // r = u0 - A u
+  virtual double calc_2norm(NormTarget target) = 0; // sum of squares
+  virtual void finalise() = 0;                      // energy = u / density
+  virtual FieldSummary field_summary() = 0;
+
+  // -- CG ------------------------------------------------------------------
+  /// w = A u; r = u0 - w; p = r. Returns rro = r.r.
+  virtual double cg_init() = 0;
+  /// w = A p. Returns pw = p.w.
+  virtual double cg_calc_w() = 0;
+  /// u += alpha p; r -= alpha w. Returns rrn = r.r.
+  virtual double cg_calc_ur(double alpha) = 0;
+  /// p = r + beta p.
+  virtual void cg_calc_p(double beta) = 0;
+
+  // -- Chebyshev -----------------------------------------------------------
+  /// p = r / theta; u += p.
+  virtual void cheby_init(double theta) = 0;
+  /// r = u0 - A u; p = alpha p + beta r; u += p.
+  virtual void cheby_iterate(double alpha, double beta) = 0;
+
+  // -- PPCG inner smoothing --------------------------------------------------
+  /// sd = r / theta.
+  virtual void ppcg_init_sd(double theta) = 0;
+  /// u += sd; r -= A sd; sd = alpha sd + beta r.
+  virtual void ppcg_inner(double alpha, double beta) = 0;
+
+  // -- Jacobi (TeaLeaf's baseline solver) ------------------------------------
+  /// w = u (save the previous iterate).
+  virtual void jacobi_copy_u() = 0;
+  /// u = (u0 + kx(x+1) w(x+1) + kx w(x-1) + ky(y+1) w(y+1) + ky w(y-1)) / diag.
+  virtual void jacobi_iterate() = 0;
+
+  // -- Results / instrumentation -------------------------------------------
+  /// Copies the current solution u into `out` (padded layout). For offload
+  /// models this is a device->host read.
+  virtual void read_u(tl::util::Span2D<double> out) = 0;
+
+  /// Writes energy back into the host chunk (finalise must have run).
+  virtual void download_energy(Chunk& chunk) = 0;
+
+  /// Simulated clock for everything this port has launched.
+  virtual const tl::sim::SimClock& clock() const = 0;
+
+  /// Starts a fresh simulated run (new scheduler luck, zeroed clock).
+  virtual void begin_run(std::uint64_t run_seed) = 0;
+};
+
+}  // namespace tl::core

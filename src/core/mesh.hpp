@@ -1,0 +1,58 @@
+#pragma once
+// Mesh geometry for the 2-D cell-centred TeaLeaf grid.
+//
+// Fields are allocated (nx + 2h) x (ny + 2h) with halo depth h (default 2,
+// which lets the PPCG inner smoothing steps run on shallower exchanges).
+// Interior cells occupy x,y in [h, h+n). The physical domain spans
+// [x_min, x_max] x [y_min, y_max] split into uniform cells.
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace tl::core {
+
+struct Mesh {
+  int nx = 0;
+  int ny = 0;
+  int halo_depth = 2;
+  double x_min = 0.0;
+  double x_max = 10.0;
+  double y_min = 0.0;
+  double y_max = 10.0;
+
+  Mesh() = default;
+  Mesh(int nx_, int ny_, int halo_depth_ = 2) : nx(nx_), ny(ny_), halo_depth(halo_depth_) {
+    if (nx <= 0 || ny <= 0 || halo_depth < 1) {
+      throw std::invalid_argument("Mesh: bad geometry");
+    }
+  }
+
+  int padded_nx() const noexcept { return nx + 2 * halo_depth; }
+  int padded_ny() const noexcept { return ny + 2 * halo_depth; }
+  std::size_t padded_cells() const noexcept {
+    return static_cast<std::size_t>(padded_nx()) *
+           static_cast<std::size_t>(padded_ny());
+  }
+  std::size_t interior_cells() const noexcept {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  }
+
+  double dx() const noexcept { return (x_max - x_min) / nx; }
+  double dy() const noexcept { return (y_max - y_min) / ny; }
+  double cell_area() const noexcept { return dx() * dy(); }
+
+  /// Physical x-centre of interior cell column `x` (padded coordinates).
+  double cell_centre_x(int x) const noexcept {
+    return x_min + (x - halo_depth + 0.5) * dx();
+  }
+  double cell_centre_y(int y) const noexcept {
+    return y_min + (y - halo_depth + 0.5) * dy();
+  }
+
+  bool is_interior(int x, int y) const noexcept {
+    return x >= halo_depth && x < halo_depth + nx && y >= halo_depth &&
+           y < halo_depth + ny;
+  }
+};
+
+}  // namespace tl::core

@@ -1,0 +1,38 @@
+#include "core/model_traits.hpp"
+
+namespace tl::core {
+
+namespace {
+bool is_interior_kernel(KernelId id) {
+  return id != KernelId::kHaloUpdate;
+}
+}  // namespace
+
+tl::sim::LaunchInfo make_launch_info(tl::sim::Model m, KernelId id,
+                                     std::size_t interior_cells) {
+  tl::sim::LaunchInfo info = base_launch_info(id, interior_cells);
+  if (!is_interior_kernel(id)) return info;
+  switch (m) {
+    case tl::sim::Model::kKokkos:
+      info.traits.interior_branch = true;  // halo test in the functor body
+      break;
+    case tl::sim::Model::kKokkosHp:
+      info.traits.hierarchical = true;  // TeamPolicy re-encoded iteration
+      break;
+    case tl::sim::Model::kRaja:
+    case tl::sim::Model::kRajaSimd:
+      info.traits.indirection = true;  // ListSegment traversal
+      break;
+    default:
+      break;
+  }
+  return info;
+}
+
+tl::sim::LaunchInfo make_halo_info(tl::sim::Model m, int nx, int ny,
+                                   int nfields, int depth) {
+  (void)m;
+  return halo_launch_info(nx, ny, nfields, depth);
+}
+
+}  // namespace tl::core

@@ -1,0 +1,32 @@
+#pragma once
+// Per-model trait decoration: the code *shape* each programming model's port
+// gives a kernel, layered on the base catalogue costs.
+//
+//   - flat Kokkos functors flatten the iteration space and test for halo
+//     cells inside the body           -> interior_branch
+//   - Kokkos HP re-encodes the halo exclusion with TeamPolicy nesting
+//                                      -> hierarchical, no branch
+//   - RAJA traverses ListSegment indirection arrays -> indirection
+//     (RAJA SIMD keeps the indirection; its simd directive is a codegen
+//     profile property, not a kernel shape)
+//   - every other model iterates the interior directly.
+//
+// Used by both the live ports and the analytic replay, so the two meter
+// identical launches.
+
+#include "core/kernel_catalog.hpp"
+#include "sim/model_id.hpp"
+#include "sim/traits.hpp"
+
+namespace tl::core {
+
+/// Decorated LaunchInfo for `kernel` over `interior_cells` cells under model `m`.
+tl::sim::LaunchInfo make_launch_info(tl::sim::Model m, KernelId id,
+                                     std::size_t interior_cells);
+
+/// Decorated halo-update LaunchInfo (halo kernels are shape-neutral: no
+/// model decorates them).
+tl::sim::LaunchInfo make_halo_info(tl::sim::Model m, int nx, int ny,
+                                   int nfields, int depth);
+
+}  // namespace tl::core

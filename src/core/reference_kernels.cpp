@@ -1,0 +1,369 @@
+#include "core/reference_kernels.hpp"
+
+#include <cmath>
+
+#include "comm/halo.hpp"
+
+namespace tl::core {
+
+namespace ref {
+
+void init_u(const Mesh& m, CSpan density, CSpan energy0, Span u, Span u0) {
+  // Full padded extent: the halo gets consistent values straight away
+  // (TeaLeaf initialises u over the whole chunk then exchanges).
+  for (int y = 0; y < m.padded_ny(); ++y) {
+    for (int x = 0; x < m.padded_nx(); ++x) {
+      const double v = energy0(x, y) * density(x, y);
+      u(x, y) = v;
+      u0(x, y) = v;
+    }
+  }
+}
+
+void init_coefficients(const Mesh& m, Coefficient coefficient, double rx,
+                       double ry, CSpan density, Span kx, Span ky) {
+  const int h = m.halo_depth;
+  // Face conductivity from the two adjacent cell densities (TeaLeaf's
+  // (wL + wC) / (2 wL wC) harmonic form), pre-scaled by rx/ry. Computed one
+  // layer beyond the interior so A u is valid on every interior cell.
+  auto w_of = [&](int x, int y) {
+    return coefficient == Coefficient::kConductivity ? density(x, y)
+                                                     : 1.0 / density(x, y);
+  };
+  for (int y = h - 1; y < h + m.ny + 1; ++y) {
+    for (int x = h - 1; x < h + m.nx + 1; ++x) {
+      const double wc = w_of(x, y);
+      const double wl = w_of(x - 1, y);
+      const double wb = w_of(x, y - 1);
+      kx(x, y) = rx * (wl + wc) / (2.0 * wl * wc);
+      ky(x, y) = ry * (wb + wc) / (2.0 * wb * wc);
+    }
+  }
+}
+
+double apply_stencil(CSpan v, CSpan kx, CSpan ky, int x, int y) {
+  const double diag =
+      1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+  return diag * v(x, y) - kx(x + 1, y) * v(x + 1, y) - kx(x, y) * v(x - 1, y) -
+         ky(x, y + 1) * v(x, y + 1) - ky(x, y) * v(x, y - 1);
+}
+
+void calc_residual(const Mesh& m, CSpan u, CSpan u0, CSpan kx, CSpan ky,
+                   Span r) {
+  const int h = m.halo_depth;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      r(x, y) = u0(x, y) - apply_stencil(u, kx, ky, x, y);
+    }
+  }
+}
+
+double calc_2norm(const Mesh& m, CSpan v) {
+  const int h = m.halo_depth;
+  double norm = 0.0;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) norm += v(x, y) * v(x, y);
+  }
+  return norm;
+}
+
+void finalise(const Mesh& m, CSpan u, CSpan density, Span energy) {
+  const int h = m.halo_depth;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) energy(x, y) = u(x, y) / density(x, y);
+  }
+}
+
+FieldSummary field_summary(const Mesh& m, CSpan density, CSpan energy0,
+                           CSpan u) {
+  const int h = m.halo_depth;
+  const double cell_vol = m.cell_area();
+  FieldSummary s;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      s.volume += cell_vol;
+      s.mass += density(x, y) * cell_vol;
+      s.internal_energy += density(x, y) * energy0(x, y) * cell_vol;
+      s.temperature += u(x, y) * cell_vol;
+    }
+  }
+  return s;
+}
+
+double cg_init(const Mesh& m, CSpan u, CSpan u0, CSpan kx, CSpan ky, Span w,
+               Span r, Span p) {
+  const int h = m.halo_depth;
+  double rro = 0.0;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      const double au = apply_stencil(u, kx, ky, x, y);
+      w(x, y) = au;
+      const double res = u0(x, y) - au;
+      r(x, y) = res;
+      p(x, y) = res;
+      rro += res * res;
+    }
+  }
+  return rro;
+}
+
+double cg_calc_w(const Mesh& m, CSpan p, CSpan kx, CSpan ky, Span w) {
+  const int h = m.halo_depth;
+  double pw = 0.0;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      const double ap = apply_stencil(p, kx, ky, x, y);
+      w(x, y) = ap;
+      pw += ap * p(x, y);
+    }
+  }
+  return pw;
+}
+
+double cg_calc_ur(const Mesh& m, double alpha, CSpan p, CSpan w, Span u,
+                  Span r) {
+  const int h = m.halo_depth;
+  double rrn = 0.0;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      u(x, y) += alpha * p(x, y);
+      const double res = r(x, y) - alpha * w(x, y);
+      r(x, y) = res;
+      rrn += res * res;
+    }
+  }
+  return rrn;
+}
+
+void cg_calc_p(const Mesh& m, double beta, CSpan r, Span p) {
+  const int h = m.halo_depth;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      p(x, y) = r(x, y) + beta * p(x, y);
+    }
+  }
+}
+
+void cheby_init(const Mesh& m, double theta, CSpan r, Span p, Span u) {
+  const int h = m.halo_depth;
+  const double theta_inv = 1.0 / theta;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      p(x, y) = r(x, y) * theta_inv;
+      u(x, y) += p(x, y);
+    }
+  }
+}
+
+void cheby_iterate(const Mesh& m, double alpha, double beta, CSpan u0,
+                   CSpan kx, CSpan ky, Span u, Span r, Span p) {
+  const int h = m.halo_depth;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      const double res = u0(x, y) - apply_stencil(u, kx, ky, x, y);
+      r(x, y) = res;
+      p(x, y) = alpha * p(x, y) + beta * res;
+    }
+  }
+  // u update is a second sweep: the stencil above must see the pre-update u.
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) u(x, y) += p(x, y);
+  }
+}
+
+void ppcg_init_sd(const Mesh& m, double theta, CSpan r, Span sd) {
+  const int h = m.halo_depth;
+  const double theta_inv = 1.0 / theta;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) sd(x, y) = r(x, y) * theta_inv;
+  }
+}
+
+void ppcg_inner(const Mesh& m, double alpha, double beta, CSpan kx, CSpan ky,
+                Span u, Span r, Span sd) {
+  const int h = m.halo_depth;
+  // r -= A sd and u += sd first (stencil must see the pre-update sd), then
+  // the sd recurrence from the fresh residual.
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      r(x, y) -= apply_stencil(sd, kx, ky, x, y);
+      u(x, y) += sd(x, y);
+    }
+  }
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      sd(x, y) = alpha * sd(x, y) + beta * r(x, y);
+    }
+  }
+}
+
+void jacobi_copy_u(const Mesh& m, CSpan u, Span w) {
+  // Full padded extent: the iterate's stencil reads w in the halo, and u's
+  // halo is current here (updated after the previous iterate).
+  for (int y = 0; y < m.padded_ny(); ++y) {
+    for (int x = 0; x < m.padded_nx(); ++x) w(x, y) = u(x, y);
+  }
+}
+
+void jacobi_iterate(const Mesh& m, CSpan u0, CSpan w, CSpan kx, CSpan ky,
+                    Span u) {
+  const int h = m.halo_depth;
+  for (int y = h; y < h + m.ny; ++y) {
+    for (int x = h; x < h + m.nx; ++x) {
+      const double diag =
+          1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+      u(x, y) = (u0(x, y) + kx(x + 1, y) * w(x + 1, y) +
+                 kx(x, y) * w(x - 1, y) + ky(x, y + 1) * w(x, y + 1) +
+                 ky(x, y) * w(x, y - 1)) /
+                diag;
+    }
+  }
+}
+
+}  // namespace ref
+
+// ---------------------------------------------------------------------------
+// ReferenceKernels
+// ---------------------------------------------------------------------------
+
+ReferenceKernels::ReferenceKernels(const Mesh& mesh)
+    : mesh_(mesh), chunk_(mesh) {}
+
+void ReferenceKernels::upload_state(const Chunk& chunk) {
+  const auto src_d = chunk.field(FieldId::kDensity);
+  const auto src_e = chunk.field(FieldId::kEnergy0);
+  auto dst_d = chunk_.field(FieldId::kDensity);
+  auto dst_e = chunk_.field(FieldId::kEnergy0);
+  for (int y = 0; y < mesh_.padded_ny(); ++y) {
+    for (int x = 0; x < mesh_.padded_nx(); ++x) {
+      dst_d(x, y) = src_d(x, y);
+      dst_e(x, y) = src_e(x, y);
+    }
+  }
+}
+
+void ReferenceKernels::init_u() {
+  ref::init_u(mesh_, chunk_.field(FieldId::kDensity),
+              chunk_.field(FieldId::kEnergy0), chunk_.field(FieldId::kU),
+              chunk_.field(FieldId::kU0));
+}
+
+void ReferenceKernels::init_coefficients(Coefficient coefficient, double rx,
+                                         double ry) {
+  ref::init_coefficients(mesh_, coefficient, rx, ry,
+                         chunk_.field(FieldId::kDensity),
+                         chunk_.field(FieldId::kKx), chunk_.field(FieldId::kKy));
+}
+
+void ReferenceKernels::halo_update(unsigned fields, int depth) {
+  (void)depth;  // reflection always fills the full halo
+  auto reflect = [&](FieldId f) {
+    tl::comm::reflect_boundary(chunk_.field(f), mesh_.halo_depth,
+                               tl::comm::kAllFaces);
+  };
+  if (fields & kMaskU) reflect(FieldId::kU);
+  if (fields & kMaskP) reflect(FieldId::kP);
+  if (fields & kMaskSd) reflect(FieldId::kSd);
+  if (fields & kMaskR) reflect(FieldId::kR);
+  if (fields & kMaskDensity) reflect(FieldId::kDensity);
+  if (fields & kMaskEnergy0) reflect(FieldId::kEnergy0);
+}
+
+void ReferenceKernels::calc_residual() {
+  ref::calc_residual(mesh_, chunk_.field(FieldId::kU),
+                     chunk_.field(FieldId::kU0), chunk_.field(FieldId::kKx),
+                     chunk_.field(FieldId::kKy), chunk_.field(FieldId::kR));
+}
+
+double ReferenceKernels::calc_2norm(NormTarget target) {
+  return ref::calc_2norm(mesh_,
+                         chunk_.field(target == NormTarget::kResidual
+                                          ? FieldId::kR
+                                          : FieldId::kU0));
+}
+
+void ReferenceKernels::finalise() {
+  ref::finalise(mesh_, chunk_.field(FieldId::kU),
+                chunk_.field(FieldId::kDensity),
+                chunk_.field(FieldId::kEnergy));
+}
+
+FieldSummary ReferenceKernels::field_summary() {
+  return ref::field_summary(mesh_, chunk_.field(FieldId::kDensity),
+                            chunk_.field(FieldId::kEnergy0),
+                            chunk_.field(FieldId::kU));
+}
+
+double ReferenceKernels::cg_init() {
+  return ref::cg_init(mesh_, chunk_.field(FieldId::kU),
+                      chunk_.field(FieldId::kU0), chunk_.field(FieldId::kKx),
+                      chunk_.field(FieldId::kKy), chunk_.field(FieldId::kW),
+                      chunk_.field(FieldId::kR), chunk_.field(FieldId::kP));
+}
+
+double ReferenceKernels::cg_calc_w() {
+  return ref::cg_calc_w(mesh_, chunk_.field(FieldId::kP),
+                        chunk_.field(FieldId::kKx), chunk_.field(FieldId::kKy),
+                        chunk_.field(FieldId::kW));
+}
+
+double ReferenceKernels::cg_calc_ur(double alpha) {
+  return ref::cg_calc_ur(mesh_, alpha, chunk_.field(FieldId::kP),
+                         chunk_.field(FieldId::kW), chunk_.field(FieldId::kU),
+                         chunk_.field(FieldId::kR));
+}
+
+void ReferenceKernels::cg_calc_p(double beta) {
+  ref::cg_calc_p(mesh_, beta, chunk_.field(FieldId::kR),
+                 chunk_.field(FieldId::kP));
+}
+
+void ReferenceKernels::cheby_init(double theta) {
+  ref::cheby_init(mesh_, theta, chunk_.field(FieldId::kR),
+                  chunk_.field(FieldId::kP), chunk_.field(FieldId::kU));
+}
+
+void ReferenceKernels::cheby_iterate(double alpha, double beta) {
+  ref::cheby_iterate(mesh_, alpha, beta, chunk_.field(FieldId::kU0),
+                     chunk_.field(FieldId::kKx), chunk_.field(FieldId::kKy),
+                     chunk_.field(FieldId::kU), chunk_.field(FieldId::kR),
+                     chunk_.field(FieldId::kP));
+}
+
+void ReferenceKernels::ppcg_init_sd(double theta) {
+  ref::ppcg_init_sd(mesh_, theta, chunk_.field(FieldId::kR),
+                    chunk_.field(FieldId::kSd));
+}
+
+void ReferenceKernels::ppcg_inner(double alpha, double beta) {
+  ref::ppcg_inner(mesh_, alpha, beta, chunk_.field(FieldId::kKx),
+                  chunk_.field(FieldId::kKy), chunk_.field(FieldId::kU),
+                  chunk_.field(FieldId::kR), chunk_.field(FieldId::kSd));
+}
+
+void ReferenceKernels::jacobi_copy_u() {
+  ref::jacobi_copy_u(mesh_, chunk_.field(FieldId::kU), chunk_.field(FieldId::kW));
+}
+
+void ReferenceKernels::jacobi_iterate() {
+  ref::jacobi_iterate(mesh_, chunk_.field(FieldId::kU0),
+                      chunk_.field(FieldId::kW), chunk_.field(FieldId::kKx),
+                      chunk_.field(FieldId::kKy), chunk_.field(FieldId::kU));
+}
+
+void ReferenceKernels::read_u(tl::util::Span2D<double> out) {
+  const auto u = chunk_.field(FieldId::kU);
+  for (int y = 0; y < mesh_.padded_ny(); ++y) {
+    for (int x = 0; x < mesh_.padded_nx(); ++x) out(x, y) = u(x, y);
+  }
+}
+
+void ReferenceKernels::download_energy(Chunk& chunk) {
+  const auto src = chunk_.field(FieldId::kEnergy);
+  auto dst = chunk.field(FieldId::kEnergy);
+  for (int y = 0; y < mesh_.padded_ny(); ++y) {
+    for (int x = 0; x < mesh_.padded_nx(); ++x) dst(x, y) = src(x, y);
+  }
+}
+
+}  // namespace tl::core

@@ -1,0 +1,92 @@
+#pragma once
+// ReferenceKernels: the plain serial implementation of every TeaLeaf kernel.
+//
+// This is the correctness oracle: it performs no simulated-time metering
+// (its clock stays at zero) and uses no programming-model API. Every port is
+// tested kernel-by-kernel against it, and the solver drivers converge with
+// it in the unit tests.
+
+#include "core/kernels_api.hpp"
+#include "core/mesh.hpp"
+
+namespace tl::core {
+
+class ReferenceKernels final : public SolverKernels {
+ public:
+  explicit ReferenceKernels(const Mesh& mesh);
+
+  void upload_state(const Chunk& chunk) override;
+  void init_u() override;
+  void init_coefficients(Coefficient coefficient, double rx, double ry) override;
+  void halo_update(unsigned fields, int depth) override;
+  void calc_residual() override;
+  double calc_2norm(NormTarget target) override;
+  void finalise() override;
+  FieldSummary field_summary() override;
+  double cg_init() override;
+  double cg_calc_w() override;
+  double cg_calc_ur(double alpha) override;
+  void cg_calc_p(double beta) override;
+  void cheby_init(double theta) override;
+  void cheby_iterate(double alpha, double beta) override;
+  void ppcg_init_sd(double theta) override;
+  void ppcg_inner(double alpha, double beta) override;
+  void jacobi_copy_u() override;
+  void jacobi_iterate() override;
+  void read_u(tl::util::Span2D<double> out) override;
+  void download_energy(Chunk& chunk) override;
+  const tl::sim::SimClock& clock() const override { return clock_; }
+  void begin_run(std::uint64_t) override { clock_.reset(); }
+
+  /// Direct field access for tests.
+  tl::util::Span2D<double> field(FieldId f) { return chunk_.field(f); }
+
+ private:
+  Mesh mesh_;
+  Chunk chunk_;
+  tl::sim::SimClock clock_;
+};
+
+// ---------------------------------------------------------------------------
+// The kernel maths as free functions over spans: ReferenceKernels calls
+// these; tests use them to cross-check port kernels on arbitrary data.
+// All functions iterate the interior [h, h+n) x [h, h+n).
+// ---------------------------------------------------------------------------
+namespace ref {
+
+using Span = tl::util::Span2D<double>;
+using CSpan = tl::util::Span2D<const double>;
+
+void init_u(const Mesh& m, CSpan density, CSpan energy0, Span u, Span u0);
+void init_coefficients(const Mesh& m, Coefficient coefficient, double rx,
+                       double ry, CSpan density, Span kx, Span ky);
+
+/// (A v)(x,y) with the pre-scaled face coefficients.
+double apply_stencil(CSpan v, CSpan kx, CSpan ky, int x, int y);
+
+void calc_residual(const Mesh& m, CSpan u, CSpan u0, CSpan kx, CSpan ky, Span r);
+double calc_2norm(const Mesh& m, CSpan v);
+void finalise(const Mesh& m, CSpan u, CSpan density, Span energy);
+FieldSummary field_summary(const Mesh& m, CSpan density, CSpan energy0, CSpan u);
+
+double cg_init(const Mesh& m, CSpan u, CSpan u0, CSpan kx, CSpan ky, Span w,
+               Span r, Span p);
+double cg_calc_w(const Mesh& m, CSpan p, CSpan kx, CSpan ky, Span w);
+double cg_calc_ur(const Mesh& m, double alpha, CSpan p, CSpan w, Span u, Span r);
+void cg_calc_p(const Mesh& m, double beta, CSpan r, Span p);
+
+void cheby_init(const Mesh& m, double theta, CSpan r, Span p, Span u);
+void cheby_iterate(const Mesh& m, double alpha, double beta, CSpan u0, CSpan kx,
+                   CSpan ky, Span u, Span r, Span p);
+
+void ppcg_init_sd(const Mesh& m, double theta, CSpan r, Span sd);
+void ppcg_inner(const Mesh& m, double alpha, double beta, CSpan kx, CSpan ky,
+                Span u, Span r, Span sd);
+
+void jacobi_copy_u(const Mesh& m, CSpan u, Span w);
+void jacobi_iterate(const Mesh& m, CSpan u0, CSpan w, CSpan kx, CSpan ky,
+                    Span u);
+
+}  // namespace ref
+
+}  // namespace tl::core

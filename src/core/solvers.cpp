@@ -1,0 +1,230 @@
+#include "core/solvers.hpp"
+#include <algorithm>
+
+
+#include <stdexcept>
+
+namespace tl::core {
+
+namespace {
+
+/// TeaLeaf's matrix is A = I + dt * div(K grad) with a symmetric positive
+/// semi-definite diffusion part under reflective (Neumann) boundaries, so
+/// its smallest eigenvalue is exactly 1 (the constant mode). The Lanczos
+/// bootstrap approaches lambda_min from above and overestimates it badly on
+/// large meshes, which would wreck the Chebyshev interval; clamping to the
+/// provable bound keeps the assumed interval containing the true spectrum.
+EigenEstimate clamp_spectrum(EigenEstimate e) {
+  e.min = std::min(e.min, 1.0);
+  return e;
+}
+
+/// CG bootstrap shared by Chebyshev and PPCG: runs `prep` CG iterations,
+/// recording alpha/beta for the Lanczos spectrum estimate. Returns the
+/// current rr. May converge outright (tiny meshes) — stats reflect that.
+double cg_bootstrap(SolverKernels& k, const SolveOptions& opt, int prep,
+                    SolveStats& stats, std::vector<double>& alphas,
+                    std::vector<double>& betas) {
+  double rro = k.cg_init();
+  stats.initial_rr = rro;
+  k.halo_update(kMaskP, 1);
+  double rrn = rro;
+  for (int it = 0; it < prep; ++it) {
+    const double pw = k.cg_calc_w();
+    const double alpha = rro / pw;
+    rrn = k.cg_calc_ur(alpha);
+    const double beta = rrn / rro;
+    alphas.push_back(alpha);
+    betas.push_back(beta);
+    ++stats.iterations;
+    if (rrn < opt.eps) {
+      stats.converged = true;
+      stats.converged_on_ur = true;
+      stats.final_rr = rrn;
+      return rrn;
+    }
+    k.cg_calc_p(beta);
+    k.halo_update(kMaskP, 1);
+    rro = rrn;
+  }
+  return rrn;
+}
+
+}  // namespace
+
+SolveStats solve_cg(SolverKernels& k, const SolveOptions& opt) {
+  SolveStats stats;
+  stats.solver = SolverKind::kCg;
+
+  double rro = k.cg_init();
+  stats.initial_rr = rro;
+  if (rro < opt.eps) {  // already solved (cold uniform problem)
+    stats.converged = true;
+    stats.final_rr = rro;
+    return stats;
+  }
+  k.halo_update(kMaskP, 1);
+
+  for (int it = 0; it < opt.max_iters; ++it) {
+    const double pw = k.cg_calc_w();
+    if (pw == 0.0) throw std::runtime_error("CG breakdown: p.Ap == 0");
+    const double alpha = rro / pw;
+    const double rrn = k.cg_calc_ur(alpha);
+    ++stats.iterations;
+    if (rrn < opt.eps) {
+      stats.converged = true;
+      stats.converged_on_ur = true;
+      stats.final_rr = rrn;
+      return stats;
+    }
+    const double beta = rrn / rro;
+    k.cg_calc_p(beta);
+    k.halo_update(kMaskP, 1);
+    rro = rrn;
+  }
+  stats.final_rr = rro;
+  return stats;
+}
+
+SolveStats solve_cheby(SolverKernels& k, const SolveOptions& opt) {
+  SolveStats stats;
+  stats.solver = SolverKind::kCheby;
+
+  std::vector<double> alphas, betas;
+  double rr = cg_bootstrap(k, opt, opt.cg_prep_iters, stats, alphas, betas);
+  if (stats.converged) return stats;
+
+  stats.spectrum =
+      clamp_spectrum(estimate_spectrum(alphas, betas, opt.eigen_safety));
+  if (!stats.spectrum.valid) {
+    throw std::runtime_error("Chebyshev: eigenvalue estimation failed");
+  }
+  const ChebyCoefficients coef =
+      cheby_coefficients(stats.spectrum.min, stats.spectrum.max, opt.max_iters);
+
+  // r is current after the bootstrap (cg_calc_ur left it there).
+  k.cheby_init(coef.theta);
+  k.halo_update(kMaskU, 1);
+  ++stats.iterations;
+
+  for (int it = 0; it < opt.max_iters && stats.iterations < opt.max_iters;
+       ++it) {
+    k.cheby_iterate(coef.alphas[static_cast<std::size_t>(it)],
+                    coef.betas[static_cast<std::size_t>(it)]);
+    k.halo_update(kMaskU, 1);
+    ++stats.iterations;
+    if ((it + 1) % opt.check_interval == 0) {
+      rr = k.calc_2norm(NormTarget::kResidual);
+      if (rr < opt.eps) {
+        stats.converged = true;
+        break;
+      }
+    }
+  }
+  // Authoritative final residual.
+  k.calc_residual();
+  stats.final_rr = k.calc_2norm(NormTarget::kResidual);
+  stats.converged = stats.final_rr < opt.eps;
+  return stats;
+}
+
+SolveStats solve_ppcg(SolverKernels& k, const SolveOptions& opt) {
+  SolveStats stats;
+  stats.solver = SolverKind::kPpcg;
+
+  std::vector<double> alphas, betas;
+  double rro = cg_bootstrap(k, opt, opt.cg_prep_iters, stats, alphas, betas);
+  if (stats.converged) return stats;
+
+  stats.spectrum =
+      clamp_spectrum(estimate_spectrum(alphas, betas, opt.eigen_safety));
+  if (!stats.spectrum.valid) {
+    throw std::runtime_error("PPCG: eigenvalue estimation failed");
+  }
+  const ChebyCoefficients coef = cheby_coefficients(
+      stats.spectrum.min, stats.spectrum.max, opt.ppcg_inner_steps);
+
+  // The bootstrap ends after cg_calc_p/halo(p) with rro current; continue
+  // the outer CG with polynomially smoothed residuals (TeaLeaf's scheme:
+  // the smoothing updates u and r directly, no extra vector).
+  for (int it = 0; it < opt.max_iters; ++it) {
+    const double pw = k.cg_calc_w();
+    if (pw == 0.0) throw std::runtime_error("PPCG breakdown: p.Ap == 0");
+    const double alpha = rro / pw;
+    double rrn = k.cg_calc_ur(alpha);
+    ++stats.iterations;
+    if (rrn < opt.eps) {
+      stats.converged = true;
+      stats.converged_on_ur = true;
+      stats.final_rr = rrn;
+      return stats;
+    }
+
+    // Inner Chebyshev smoothing of the residual.
+    k.ppcg_init_sd(coef.theta);
+    k.halo_update(kMaskSd, 1);
+    for (int j = 0; j < opt.ppcg_inner_steps; ++j) {
+      k.ppcg_inner(coef.alphas[static_cast<std::size_t>(j)],
+                   coef.betas[static_cast<std::size_t>(j)]);
+      k.halo_update(kMaskSd, 1);
+      ++stats.inner_iterations;
+    }
+    rrn = k.calc_2norm(NormTarget::kResidual);
+    if (rrn < opt.eps) {
+      stats.converged = true;
+      stats.final_rr = rrn;
+      return stats;
+    }
+
+    const double beta = rrn / rro;
+    k.cg_calc_p(beta);
+    k.halo_update(kMaskP, 1);
+    rro = rrn;
+  }
+  stats.final_rr = rro;
+  return stats;
+}
+
+SolveStats solve_jacobi(SolverKernels& k, const SolveOptions& opt) {
+  // TeaLeaf's explicit baseline: slow (iterations scale with the condition
+  // number, not its square root) but the simplest possible kernel pair.
+  SolveStats stats;
+  stats.solver = SolverKind::kJacobi;
+
+  k.calc_residual();
+  double rr = k.calc_2norm(NormTarget::kResidual);
+  stats.initial_rr = rr;
+  if (rr < opt.eps) {
+    stats.converged = true;
+    stats.final_rr = rr;
+    return stats;
+  }
+
+  for (int it = 0; it < opt.max_iters; ++it) {
+    k.jacobi_copy_u();
+    k.jacobi_iterate();
+    k.halo_update(kMaskU, 1);
+    ++stats.iterations;
+    if ((it + 1) % opt.check_interval == 0) {
+      k.calc_residual();
+      rr = k.calc_2norm(NormTarget::kResidual);
+      if (rr < opt.eps) break;
+    }
+  }
+  k.calc_residual();
+  stats.final_rr = k.calc_2norm(NormTarget::kResidual);
+  stats.converged = stats.final_rr < opt.eps;
+  return stats;
+}
+
+SolveStats solve(SolverKind kind, SolverKernels& k, const SolveOptions& opt) {
+  switch (kind) {
+    case SolverKind::kCg: return solve_cg(k, opt);
+    case SolverKind::kCheby: return solve_cheby(k, opt);
+    case SolverKind::kPpcg: return solve_ppcg(k, opt);
+    case SolverKind::kJacobi: return solve_jacobi(k, opt);
+  }
+  throw std::invalid_argument("solve: unsupported solver kind");
+}
+
+}  // namespace tl::core

@@ -1,0 +1,38 @@
+#include "core/state_init.hpp"
+
+#include <stdexcept>
+
+namespace tl::core {
+
+void apply_initial_states(Chunk& chunk, const Settings& settings) {
+  if (settings.states.empty()) {
+    throw std::invalid_argument("apply_initial_states: no states");
+  }
+  const Mesh& mesh = chunk.mesh();
+  auto density = chunk.field(FieldId::kDensity);
+  auto energy0 = chunk.field(FieldId::kEnergy0);
+
+  const StateRegion& background = settings.states.front();
+  for (int y = 0; y < mesh.padded_ny(); ++y) {
+    for (int x = 0; x < mesh.padded_nx(); ++x) {
+      density(x, y) = background.density;
+      energy0(x, y) = background.energy;
+    }
+  }
+
+  for (std::size_t s = 1; s < settings.states.size(); ++s) {
+    const StateRegion& region = settings.states[s];
+    for (int y = 0; y < mesh.padded_ny(); ++y) {
+      const double cy = mesh.cell_centre_y(y);
+      if (cy < region.y_min || cy > region.y_max) continue;
+      for (int x = 0; x < mesh.padded_nx(); ++x) {
+        const double cx = mesh.cell_centre_x(x);
+        if (cx < region.x_min || cx > region.x_max) continue;
+        density(x, y) = region.density;
+        energy0(x, y) = region.energy;
+      }
+    }
+  }
+}
+
+}  // namespace tl::core

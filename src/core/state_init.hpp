@@ -1,0 +1,16 @@
+#pragma once
+// Initial-state painting: applies the deck's rectangular state regions to
+// the density and energy0 fields of a chunk (TeaLeaf's generate_chunk).
+
+#include "core/fields.hpp"
+#include "core/settings.hpp"
+
+namespace tl::core {
+
+/// Paints states in deck order: the first state covers everything (the
+/// background), later states overwrite cells whose centres fall inside their
+/// rectangle. Fills the halo too (reflective values are identical for a
+/// region touching a boundary; the solver re-reflects before use anyway).
+void apply_initial_states(Chunk& chunk, const Settings& settings);
+
+}  // namespace tl::core

@@ -1,0 +1,131 @@
+#pragma once
+// CUDA-like programming model layer (from-scratch reimplementation of the
+// API *style* the paper's CUDA port uses — see DESIGN.md substitutions).
+//
+// Reproduced concepts (paper sections 2.6, 3.5): kernels launched over a 1-D
+// grid of 1-D thread blocks, explicit block-size / block-count arithmetic
+// with overspill guards inside the kernel, device buffers with explicit
+// memcpy in each direction, shared-memory scratch per block, and the manual
+// two-stage reduction (per-block partials to global memory, finished on the
+// host) the paper cites as CUDA's main complexity cost over Kokkos.
+//
+// Emulation note: threads of a block run sequentially in-order, so
+// __syncthreads() is correct as a no-op; reduction kernels follow the
+// convention that the last thread of a block finalises the block partial.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "models/launcher.hpp"
+#include "util/buffer.hpp"
+
+namespace culike {
+
+struct Dim3 {
+  unsigned x = 1;
+  constexpr explicit Dim3(unsigned x_) : x(x_) {}
+};
+
+/// Device allocation (cudaMalloc analogue). Host code moves data with
+/// memcpy_htod / memcpy_dtoh; kernels index it directly.
+class DeviceBuffer {
+ public:
+  explicit DeviceBuffer(std::size_t count) : storage_(count) {}
+
+  std::size_t size() const noexcept { return storage_.size(); }
+  std::size_t size_bytes() const noexcept { return size() * sizeof(double); }
+
+  double& operator[](std::size_t i) noexcept { return storage_[i]; }
+  double operator[](std::size_t i) const noexcept { return storage_[i]; }
+
+  /// Raw device pointer (what a real kernel receives as its argument).
+  double* data() noexcept { return storage_.data(); }
+  const double* data() const noexcept { return storage_.data(); }
+
+ private:
+  tl::util::Buffer<double> storage_;
+};
+
+/// Thread coordinates handed to the kernel body, CUDA naming.
+struct ThreadCtx {
+  unsigned thread_idx = 0;  // threadIdx.x
+  unsigned block_idx = 0;   // blockIdx.x
+  unsigned block_dim = 1;   // blockDim.x
+  unsigned grid_dim = 1;    // gridDim.x
+
+  /// Per-block shared memory (dynamic shared mem analogue).
+  std::span<double> shared;
+
+  std::size_t global_thread() const noexcept {
+    return static_cast<std::size_t>(block_idx) * block_dim + thread_idx;
+  }
+  bool is_last_in_block() const noexcept {
+    return thread_idx + 1 == block_dim;
+  }
+};
+
+class Runtime {
+ public:
+  Runtime(tl::sim::Model model, tl::sim::DeviceId device,
+          std::uint64_t run_seed = 1)
+      : launcher_(model, device, run_seed) {}
+
+  models::Launcher& launcher() noexcept { return launcher_; }
+
+  /// kernel<<<grid, block, shared_elems * 8>>>(...) analogue.
+  template <typename Kernel>
+  void launch(const tl::sim::LaunchInfo& info, Dim3 grid, Dim3 block,
+              std::size_t shared_elems, Kernel&& kernel) {
+    if (grid.x == 0 || block.x == 0) {
+      throw std::invalid_argument("culike: empty launch configuration");
+    }
+    launcher_.run(info, [&] {
+      shared_.assign(shared_elems, 0.0);
+      ThreadCtx ctx;
+      ctx.block_dim = block.x;
+      ctx.grid_dim = grid.x;
+      ctx.shared = std::span<double>(shared_);
+      for (unsigned b = 0; b < grid.x; ++b) {
+        std::fill(shared_.begin(), shared_.end(), 0.0);
+        ctx.block_idx = b;
+        for (unsigned t = 0; t < block.x; ++t) {
+          ctx.thread_idx = t;
+          kernel(ctx);
+        }
+      }
+    });
+  }
+
+  void memcpy_htod(DeviceBuffer& dst, std::span<const double> src) {
+    if (src.size() != dst.size()) {
+      throw std::invalid_argument("culike: memcpy_htod size mismatch");
+    }
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    launcher_.charge_transfer(tl::sim::TransferInfo{
+        .name = "cudaMemcpyHostToDevice", .bytes = src.size_bytes(),
+        .to_device = true});
+  }
+
+  void memcpy_dtoh(std::span<double> dst, const DeviceBuffer& src) {
+    if (dst.size() != src.size()) {
+      throw std::invalid_argument("culike: memcpy_dtoh size mismatch");
+    }
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    launcher_.charge_transfer(tl::sim::TransferInfo{
+        .name = "cudaMemcpyDeviceToHost", .bytes = dst.size_bytes(),
+        .to_device = false});
+  }
+
+  /// Block/grid sizing helper every CUDA port writes by hand.
+  static unsigned blocks_for(std::size_t items, unsigned block_size) {
+    return static_cast<unsigned>((items + block_size - 1) / block_size);
+  }
+
+ private:
+  models::Launcher launcher_;
+  std::vector<double> shared_;
+};
+
+}  // namespace culike

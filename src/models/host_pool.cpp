@@ -1,0 +1,110 @@
+#include "models/host_pool.hpp"
+
+#include <algorithm>
+
+namespace models {
+
+HostPool::HostPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  // The calling thread works chunk 0; spawn threads-1 workers.
+  const unsigned workers = threads - 1;
+  workers_empty_ = (workers == 0);
+  tasks_.resize(threads);
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+HostPool::~HostPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void HostPool::worker_loop(unsigned index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned, std::int64_t, std::int64_t)>* body;
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      body = active_body_;
+      task = tasks_[index];
+    }
+    if (task.begin < task.end && body != nullptr) {
+      (*body)(index, task.begin, task.end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void HostPool::dispatch(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(unsigned, std::int64_t, std::int64_t)>& chunk_body) {
+  if (begin >= end) return;
+  const unsigned nthreads = static_cast<unsigned>(tasks_.size());
+  const std::int64_t total = end - begin;
+  const std::int64_t base = total / nthreads;
+  const std::int64_t rem = total % nthreads;
+
+  if (workers_empty_ || total < static_cast<std::int64_t>(nthreads)) {
+    chunk_body(0, begin, end);  // not worth forking
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::int64_t cursor = begin;
+    for (unsigned i = 0; i < nthreads; ++i) {
+      const std::int64_t extent = base + (static_cast<std::int64_t>(i) < rem ? 1 : 0);
+      tasks_[i] = Task{cursor, cursor + extent};
+      cursor += extent;
+    }
+    active_body_ = &chunk_body;
+    pending_ = nthreads - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The calling thread processes chunk 0.
+  chunk_body(0, tasks_[0].begin, tasks_[0].end);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  active_body_ = nullptr;
+}
+
+void HostPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  dispatch(begin, end,
+           [&body](unsigned, std::int64_t b, std::int64_t e) { body(b, e); });
+}
+
+double HostPool::parallel_reduce_sum(
+    std::int64_t begin, std::int64_t end,
+    const std::function<double(std::int64_t, std::int64_t)>& body) {
+  std::vector<double> partials(tasks_.size(), 0.0);
+  dispatch(begin, end, [&](unsigned index, std::int64_t b, std::int64_t e) {
+    partials[index] = body(b, e);
+  });
+  // Combine in chunk order for determinism.
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  return sum;
+}
+
+}  // namespace models

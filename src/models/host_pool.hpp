@@ -1,0 +1,65 @@
+#pragma once
+// HostPool: a fork-join worker pool with static chunking, the execution
+// engine behind the host-side model layers (OpenMP-style parallel_for).
+//
+// Reductions are deterministic: each worker accumulates a private partial
+// over a statically assigned chunk, and partials are combined in chunk order
+// regardless of completion order. With `threads == 1` (the default on this
+// single-core machine) execution degenerates to a plain loop, but the pool
+// is fully functional and is exercised multi-threaded by the test suite.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace models {
+
+class HostPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit HostPool(unsigned threads = 1);
+  ~HostPool();
+  HostPool(const HostPool&) = delete;
+  HostPool& operator=(const HostPool&) = delete;
+
+  unsigned thread_count() const noexcept { return workers_empty_ ? 1u : static_cast<unsigned>(threads_.size() + 1); }
+
+  /// Splits [begin, end) into contiguous chunks, one per worker, and runs
+  /// `body(chunk_begin, chunk_end)` on each. Blocks until all complete.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Reduction variant: `body(chunk_begin, chunk_end) -> double` partials are
+  /// summed in chunk order.
+  double parallel_reduce_sum(
+      std::int64_t begin, std::int64_t end,
+      const std::function<double(std::int64_t, std::int64_t)>& body);
+
+ private:
+  struct Task {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+
+  void worker_loop(unsigned index);
+  void dispatch(std::int64_t begin, std::int64_t end,
+                const std::function<void(unsigned, std::int64_t, std::int64_t)>& chunk_body);
+
+  std::vector<std::thread> threads_;
+  bool workers_empty_ = true;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool shutdown_ = false;
+  std::vector<Task> tasks_;
+  const std::function<void(unsigned, std::int64_t, std::int64_t)>* active_body_ = nullptr;
+};
+
+}  // namespace models

@@ -1,0 +1,145 @@
+#pragma once
+// OpenCL-like programming model layer (from-scratch reimplementation of the
+// API *style* the paper's OpenCL port uses — see DESIGN.md substitutions).
+//
+// Reproduced concepts (paper section 2.5): the platform model (platform ->
+// device -> compute units), explicit contexts, command queues, device
+// buffers that host code cannot touch directly (enqueueRead/WriteBuffer
+// only), programs containing named kernels, per-kernel argument binding with
+// setArg, and NDRange execution in work groups with work-group reductions
+// through local memory. The boilerplate is the point: the paper's complexity
+// finding for OpenCL rests on exactly these steps existing.
+//
+// Emulation note: work items of a group execute sequentially in-order, so
+// work-group barriers are correct as no-ops; kernels follow the convention
+// that the *last* work item of a group performs the group-level finish
+// (where real OpenCL would barrier and use item 0).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "models/launcher.hpp"
+#include "util/buffer.hpp"
+
+namespace ocllike {
+
+class Context;
+
+/// Device memory object. Elements are doubles (TeaLeaf's only payload type).
+class Buffer {
+ public:
+  Buffer(Context& ctx, std::size_t count);
+
+  std::size_t size() const noexcept { return storage_.size(); }
+  std::size_t size_bytes() const noexcept { return size() * sizeof(double); }
+
+  /// Device-side access, only meaningful from inside a kernel.
+  double& operator[](std::size_t i) noexcept { return storage_[i]; }
+  double operator[](std::size_t i) const noexcept { return storage_[i]; }
+
+  /// Raw device pointer (clEnqueueMapBuffer analogue): used by the port's
+  /// device-resident halo kernel and reduction finishes.
+  double* data() noexcept { return storage_.data(); }
+  const double* data() const noexcept { return storage_.data(); }
+
+ private:
+  tl::util::Buffer<double> storage_;
+};
+
+/// One work item's coordinates within the NDRange.
+struct NDItem {
+  std::size_t global_id = 0;
+  std::size_t local_id = 0;
+  std::size_t group_id = 0;
+  std::size_t local_size = 1;
+  std::size_t global_size = 0;
+
+  /// Work-group local memory (one double per work item in the group).
+  std::span<double> local_mem;
+};
+
+using KernelArg = std::variant<Buffer*, double, std::int64_t>;
+
+/// Kernel "source": a host function executed once per work item.
+using KernelFn = std::function<void(const NDItem&, const std::vector<KernelArg>&)>;
+
+/// Compiled program: a named collection of kernels (clBuildProgram analogue).
+class Program {
+ public:
+  static Program build(Context& ctx, std::map<std::string, KernelFn> kernels);
+
+  const KernelFn& kernel_fn(const std::string& name) const;
+
+ private:
+  std::map<std::string, KernelFn> kernels_;
+};
+
+class Kernel {
+ public:
+  Kernel(const Program& program, std::string name)
+      : fn_(&program.kernel_fn(name)), name_(std::move(name)) {}
+
+  /// clSetKernelArg analogue; args may be rebound between enqueues.
+  void set_arg(std::size_t index, KernelArg arg) {
+    if (args_.size() <= index) args_.resize(index + 1);
+    args_[index] = arg;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class CommandQueue;
+  const KernelFn* fn_;
+  std::string name_;
+  std::vector<KernelArg> args_;
+};
+
+/// Platform/device discovery boilerplate. Platforms mirror the simulated
+/// device catalogue.
+struct PlatformDevice {
+  tl::sim::DeviceId id;
+  std::string name;
+};
+std::vector<PlatformDevice> get_platform_devices();
+
+class Context {
+ public:
+  Context(tl::sim::Model model, tl::sim::DeviceId device,
+          std::uint64_t run_seed = 1)
+      : launcher_(model, device, run_seed) {}
+
+  models::Launcher& launcher() noexcept { return launcher_; }
+  const models::Launcher& launcher() const noexcept { return launcher_; }
+
+ private:
+  models::Launcher launcher_;
+};
+
+class CommandQueue {
+ public:
+  explicit CommandQueue(Context& ctx) : ctx_(&ctx) {}
+
+  /// clEnqueueNDRangeKernel analogue. `global` must be a multiple of
+  /// `local`. The LaunchInfo carries the metered cost of this enqueue.
+  void enqueue_nd_range(Kernel& kernel, const tl::sim::LaunchInfo& info,
+                        std::size_t global, std::size_t local);
+
+  void enqueue_write(Buffer& dst, std::span<const double> src);
+  void enqueue_read(const Buffer& src, std::span<double> dst);
+
+  /// In-order emulation: every enqueue completes eagerly.
+  void finish() {}
+
+ private:
+  Context* ctx_;
+  std::vector<double> local_mem_;
+};
+
+}  // namespace ocllike

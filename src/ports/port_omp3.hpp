@@ -1,0 +1,54 @@
+#pragma once
+// OpenMP 3.0-style TeaLeaf port: `parallel for` loops over interior rows
+// with reduction clauses — the structure of both the original Fortran 90
+// TeaLeaf and the C port the paper derived every other port from. The same
+// class serves the two baselines (Model::kFortran / Model::kOmp3Cpp): the
+// source structure is identical, the codegen profile (vectorisation quality
+// of the two compilers) is what differs — exactly the paper's finding that
+// identical code compiled as C++ ran 15% slower on Chebyshev.
+
+#include "core/fields.hpp"
+#include "models/omp3/omp3.hpp"
+#include "ports/port_base.hpp"
+
+namespace tl::ports {
+
+class Omp3Port final : public PortBase {
+ public:
+  Omp3Port(sim::Model model, sim::DeviceId device, const core::Mesh& mesh,
+           std::uint64_t run_seed, unsigned host_threads);
+
+  void upload_state(const core::Chunk& chunk) override;
+  void init_u() override;
+  void init_coefficients(core::Coefficient coefficient, double rx,
+                         double ry) override;
+  void halo_update(unsigned fields, int depth) override;
+  void calc_residual() override;
+  double calc_2norm(core::NormTarget target) override;
+  void finalise() override;
+  core::FieldSummary field_summary() override;
+  double cg_init() override;
+  double cg_calc_w() override;
+  double cg_calc_ur(double alpha) override;
+  void cg_calc_p(double beta) override;
+  void cheby_init(double theta) override;
+  void cheby_iterate(double alpha, double beta) override;
+  void ppcg_init_sd(double theta) override;
+  void ppcg_inner(double alpha, double beta) override;
+  void jacobi_copy_u() override;
+  void jacobi_iterate() override;
+  void read_u(util::Span2D<double> out) override;
+  void download_energy(core::Chunk& chunk) override;
+  const sim::SimClock& clock() const override { return rt_.launcher().clock(); }
+  void begin_run(std::uint64_t run_seed) override {
+    rt_.launcher().begin_run(run_seed);
+  }
+
+ private:
+  util::Span2D<double> f(core::FieldId id) { return storage_.field(id); }
+
+  mutable omp3::Runtime rt_;
+  core::Chunk storage_;
+};
+
+}  // namespace tl::ports

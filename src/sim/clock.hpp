@@ -1,0 +1,55 @@
+#pragma once
+// SimClock: the simulated timeline of one device run.
+//
+// Kernels execute for real on the host (numerics), while simulated time is
+// accounted here (performance). The clock also keeps launch/transfer/byte
+// counters so benches can report achieved bandwidth (paper Fig 12).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tl::sim {
+
+class SimClock {
+ public:
+  void reset() { *this = SimClock{}; }
+
+  void add_launch_time(double ns, std::size_t bytes) {
+    elapsed_ns_ += ns;
+    ++launches_;
+    kernel_bytes_ += bytes;
+  }
+
+  void add_transfer_time(double ns, std::size_t bytes) {
+    elapsed_ns_ += ns;
+    ++transfers_;
+    transfer_bytes_ += bytes;
+  }
+
+  /// Host-side time that is not kernel or transfer work (halo packing on the
+  /// host, MPI progress, ...).
+  void add_host_time(double ns) { elapsed_ns_ += ns; }
+
+  double elapsed_ns() const noexcept { return elapsed_ns_; }
+  double elapsed_seconds() const noexcept { return elapsed_ns_ * 1e-9; }
+
+  std::uint64_t launches() const noexcept { return launches_; }
+  std::uint64_t transfers() const noexcept { return transfers_; }
+  std::size_t kernel_bytes() const noexcept { return kernel_bytes_; }
+  std::size_t transfer_bytes() const noexcept { return transfer_bytes_; }
+
+  /// Achieved main-memory bandwidth over the whole run, GB/s.
+  double achieved_bandwidth_gbs() const noexcept {
+    if (elapsed_ns_ <= 0.0) return 0.0;
+    return static_cast<double>(kernel_bytes_) / elapsed_ns_;  // B/ns == GB/s
+  }
+
+ private:
+  double elapsed_ns_ = 0.0;
+  std::uint64_t launches_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::size_t kernel_bytes_ = 0;
+  std::size_t transfer_bytes_ = 0;
+};
+
+}  // namespace tl::sim

@@ -1,0 +1,244 @@
+#include "sim/codegen.hpp"
+
+namespace tl::sim {
+
+namespace {
+
+constexpr CodegenProfile kUnsupported{};
+
+constexpr double us(double v) { return v * 1000.0; }  // microseconds -> ns
+
+// ---------------------------------------------------------------------------
+// CPU: dual Xeon E5-2670 (paper section 4.1 / Fig 8)
+// ---------------------------------------------------------------------------
+
+// OpenMP 3.0 Fortran 90: the device-tuned best case.
+constexpr CodegenProfile kFortranCpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.93, .vector_quality = 1.0,
+    .reduction_efficiency = 0.97, .reduction_overhead_ns = us(2),
+    .launch_overhead_ns = us(4)};
+
+// Identical code compiled as C++ vectorises worse with icc 15.0.3 (the
+// paper's 15% Chebyshev gap); vector_quality carries that difference.
+constexpr CodegenProfile kOmp3CppCpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.93, .vector_quality = 0.60,
+    .reduction_efficiency = 0.97, .reduction_overhead_ns = us(2),
+    .launch_overhead_ns = us(4)};
+
+constexpr CodegenProfile kOmp4Cpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.90, .vector_quality = 0.85,
+    .reduction_efficiency = 0.92, .reduction_overhead_ns = us(3),
+    .launch_overhead_ns = us(8)};
+
+constexpr CodegenProfile kOpenAccCpu{  // PGI 15.10 x86 target: supported,
+    .supported = true, .support_note = "Yes",  // not benchmarked in the paper
+    .base_efficiency = 0.85, .vector_quality = 0.85,
+    .reduction_efficiency = 0.85, .reduction_overhead_ns = us(4),
+    .launch_overhead_ns = us(10)};
+
+constexpr CodegenProfile kKokkosCpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.92, .vector_quality = 0.70,
+    .reduction_efficiency = 0.95, .reduction_overhead_ns = us(3),
+    .launch_overhead_ns = us(5)};
+
+constexpr CodegenProfile kKokkosHpCpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.90, .vector_quality = 0.70,
+    .reduction_efficiency = 0.93, .reduction_overhead_ns = us(4),
+    .launch_overhead_ns = us(7)};
+
+constexpr CodegenProfile kRajaCpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.93, .vector_quality = 0.85,
+    .reduction_efficiency = 0.95, .reduction_overhead_ns = us(3),
+    .launch_overhead_ns = us(5)};
+
+constexpr CodegenProfile kRajaSimdCpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.93, .vector_quality = 0.50, .simd_forced = true,
+    .reduction_efficiency = 0.95, .reduction_overhead_ns = us(3),
+    .launch_overhead_ns = us(5)};
+
+// Intel OpenCL on CPU schedules with TBB work stealing: 1631..2813 s over 15
+// runs in the paper. The run-factor band reproduces that spread.
+constexpr CodegenProfile kOpenClCpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.82, .vector_quality = 0.80,
+    .reduction_efficiency = 0.90, .reduction_overhead_ns = us(6),
+    .launch_overhead_ns = us(25),
+    .scheduler = SchedulerKind::kWorkStealing,
+    .sched_run_factor_min = 0.55, .sched_run_factor_max = 0.95,
+    .sched_launch_jitter = 0.06};
+
+// ---------------------------------------------------------------------------
+// GPU: NVIDIA K20X (paper section 4.2 / Fig 9)
+// ---------------------------------------------------------------------------
+
+constexpr CodegenProfile kCudaGpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.90,
+    .reduction_efficiency = 0.85, .reduction_overhead_ns = us(6),
+    .launch_overhead_ns = us(8)};
+
+constexpr CodegenProfile kOpenClGpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.90,
+    .reduction_efficiency = 0.85, .reduction_overhead_ns = us(7),
+    .launch_overhead_ns = us(12)};
+
+constexpr CodegenProfile kOpenAccGpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.82,
+    .reduction_efficiency = 0.68, .reduction_overhead_ns = us(12),
+    .launch_overhead_ns = us(30)};
+
+// Flat Kokkos: excellent streaming codegen; the paper's unexplained CG
+// anomaly (+50%) is carried by the reduction path efficiency.
+constexpr CodegenProfile kKokkosGpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.95,
+    .reduction_efficiency = 0.52, .reduction_overhead_ns = us(10),
+    .launch_overhead_ns = us(15)};
+
+// Hierarchical parallelism: better reductions (team-level accumulation),
+// ~20% slower streaming kernels (second dispatch level).
+constexpr CodegenProfile kKokkosHpGpu{
+    .supported = true, .support_note = "Yes",
+    .base_efficiency = 0.72,
+    .reduction_efficiency = 0.74, .reduction_overhead_ns = us(10),
+    .launch_overhead_ns = us(18)};
+
+constexpr CodegenProfile kOmp4Gpu{  // "Experimental" in Table 1
+    .supported = true, .support_note = "Experimental",
+    .base_efficiency = 0.70,
+    .reduction_efficiency = 0.55, .reduction_overhead_ns = us(20),
+    .launch_overhead_ns = us(60)};
+
+// ---------------------------------------------------------------------------
+// KNC: Xeon Phi 5110P / SE10P (paper section 4.3 / Fig 10)
+// ---------------------------------------------------------------------------
+
+constexpr CodegenProfile kFortranKnc{
+    .supported = true, .support_note = "Native",
+    .base_efficiency = 0.80, .vector_quality = 1.0,
+    .reduction_efficiency = 0.95, .reduction_overhead_ns = us(8),
+    .launch_overhead_ns = us(15)};
+
+constexpr CodegenProfile kOmp3CppKnc{
+    .supported = true, .support_note = "Native",
+    .base_efficiency = 0.80, .vector_quality = 0.80,
+    .reduction_efficiency = 0.95, .reduction_overhead_ns = us(8),
+    .launch_overhead_ns = us(15)};
+
+constexpr CodegenProfile kOmp4Knc{
+    .supported = true, .support_note = "Offload",
+    .base_efficiency = 0.78, .vector_quality = 0.90,
+    .reduction_efficiency = 0.67, .reduction_overhead_ns = us(25),
+    .launch_overhead_ns = us(180)};
+
+constexpr CodegenProfile kOpenClKnc{
+    .supported = true, .support_note = "Offload",
+    .base_efficiency = 0.70, .vector_quality = 0.80,
+    .reduction_efficiency = 0.33, .reduction_overhead_ns = us(40),
+    .launch_overhead_ns = us(150)};
+
+constexpr CodegenProfile kKokkosKnc{
+    .supported = true, .support_note = "Native",
+    .base_efficiency = 0.78, .vector_quality = 0.70,
+    .reduction_efficiency = 0.80, .reduction_overhead_ns = us(15),
+    .launch_overhead_ns = us(40)};
+
+constexpr CodegenProfile kKokkosHpKnc{
+    .supported = true, .support_note = "Native",
+    .base_efficiency = 0.74, .vector_quality = 0.70,
+    .reduction_efficiency = 0.82, .reduction_overhead_ns = us(18),
+    .launch_overhead_ns = us(50)};
+
+constexpr CodegenProfile kRajaKnc{
+    .supported = true, .support_note = "Native",
+    .base_efficiency = 0.80, .vector_quality = 0.85,
+    .reduction_efficiency = 0.90, .reduction_overhead_ns = us(12),
+    .launch_overhead_ns = us(45)};
+
+constexpr CodegenProfile kRajaSimdKnc{
+    .supported = true, .support_note = "Native",
+    .base_efficiency = 0.80, .vector_quality = 0.60, .simd_forced = true,
+    .reduction_efficiency = 0.90, .reduction_overhead_ns = us(12),
+    .launch_overhead_ns = us(45)};
+
+}  // namespace
+
+const CodegenProfile& codegen_profile(Model m, DeviceId d) {
+  switch (d) {
+    case DeviceId::kCpuSandyBridge:
+      switch (m) {
+        case Model::kFortran: return kFortranCpu;
+        case Model::kOmp3Cpp: return kOmp3CppCpu;
+        case Model::kOmp4: return kOmp4Cpu;
+        case Model::kOpenAcc: return kOpenAccCpu;
+        case Model::kKokkos: return kKokkosCpu;
+        case Model::kKokkosHp: return kKokkosHpCpu;
+        case Model::kRaja: return kRajaCpu;
+        case Model::kRajaSimd: return kRajaSimdCpu;
+        case Model::kOpenCl: return kOpenClCpu;
+        case Model::kCuda: return kUnsupported;
+      }
+      break;
+    case DeviceId::kGpuK20X:
+      switch (m) {
+        case Model::kCuda: return kCudaGpu;
+        case Model::kOpenCl: return kOpenClGpu;
+        case Model::kOpenAcc: return kOpenAccGpu;
+        case Model::kKokkos: return kKokkosGpu;
+        case Model::kKokkosHp: return kKokkosHpGpu;
+        case Model::kOmp4: return kOmp4Gpu;
+        default: return kUnsupported;
+      }
+      break;
+    case DeviceId::kMicKnc:
+      switch (m) {
+        case Model::kFortran: return kFortranKnc;
+        case Model::kOmp3Cpp: return kOmp3CppKnc;
+        case Model::kOmp4: return kOmp4Knc;
+        case Model::kOpenCl: return kOpenClKnc;
+        case Model::kKokkos: return kKokkosKnc;
+        case Model::kKokkosHp: return kKokkosHpKnc;
+        case Model::kRaja: return kRajaKnc;
+        case Model::kRajaSimd: return kRajaSimdKnc;
+        default: return kUnsupported;
+      }
+      break;
+  }
+  return kUnsupported;
+}
+
+std::string_view support_cell(Model m, DeviceId d) {
+  return codegen_profile(m, d).support_note;
+}
+
+bool uses_device_residency(Model m, DeviceId d) {
+  const DeviceSpec& dev = device_spec(d);
+  if (dev.link_bw_gbs <= 0.0) return false;  // host device
+  const CodegenProfile& p = codegen_profile(m, d);
+  if (!p.supported) return false;
+  // Native compilation runs on the card directly; everything else offloads
+  // across PCIe and keeps data resident for the duration of the solve.
+  return p.support_note != "Native";
+}
+
+std::optional<Model> parse_model(std::string_view id) {
+  for (const Model m : kAllModels) {
+    if (model_id(m) == id) return m;
+  }
+  if (id == "f90" || id == "omp_f90") return Model::kFortran;
+  if (id == "omp" || id == "omp3_cpp") return Model::kOmp3Cpp;
+  if (id == "acc") return Model::kOpenAcc;
+  if (id == "ocl" || id == "cl") return Model::kOpenCl;
+  return std::nullopt;
+}
+
+}  // namespace tl::sim

@@ -1,0 +1,71 @@
+#pragma once
+// Code-generation profiles: how well each programming model's generated code
+// drives each device.
+//
+// This file is the single home of every calibrated constant in the
+// reproduction (DESIGN.md section 5). A profile says nothing about *what* a
+// kernel computes; it captures the model's runtime/codegen quality on a
+// device: achievable fraction of STREAM bandwidth, vectorisation quality,
+// reduction-path efficiency, per-launch overhead and scheduling behaviour.
+// The per-kernel *shape* (branches, indirection, reductions) comes from the
+// ports as KernelTraits; the device penalty dials live in DeviceSpec.
+
+#include <string_view>
+
+#include "sim/device.hpp"
+#include "sim/model_id.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tl::sim {
+
+struct CodegenProfile {
+  /// Does this model target this device at all (paper Table 1)?
+  bool supported = false;
+  /// Table 1 cell text: "Yes", "Native", "Offload", "Experimental", "".
+  std::string_view support_note = "";
+
+  /// Fraction of STREAM bandwidth a perfectly streaming, fully vectorised,
+  /// branch-free kernel achieves under this model.
+  double base_efficiency = 0.0;
+
+  /// Fraction of ideal vectorisation the codegen achieves (CPU/MIC only;
+  /// GPUs are SIMT and ignore this, encoded as DeviceSpec::no_vectorize_factor
+  /// == 0 for the K20X).
+  double vector_quality = 1.0;
+
+  /// True when the port annotates loops with an explicit simd directive
+  /// (the paper's RAJA SIMD proof of concept): restores vector_quality even
+  /// through indirection traversal.
+  bool simd_forced = false;
+
+  /// Bandwidth-efficiency multiplier applied to reduction kernels. This is
+  /// the mechanism behind every CG-specific gap the paper reports (OpenACC
+  /// +30% CG, Kokkos GPU CG anomaly, OpenMP 4.0 KNC +45% CG, OpenCL KNC 3x).
+  double reduction_efficiency = 1.0;
+
+  /// Flat extra cost per reduction launch (tree finish + scalar readback).
+  double reduction_overhead_ns = 0.0;
+
+  /// Per kernel-launch overhead: directive region setup, queue submission,
+  /// thread fork/join. Dominates small meshes (paper Fig 11 intercepts).
+  double launch_overhead_ns = 0.0;
+
+  /// Scheduling behaviour (Intel OpenCL CPU = TBB work stealing).
+  SchedulerKind scheduler = SchedulerKind::kStatic;
+  double sched_run_factor_min = 1.0;  // work-stealing run-luck band
+  double sched_run_factor_max = 1.0;
+  double sched_launch_jitter = 0.0;
+};
+
+/// Profile for a (port, device) pair. Unsupported pairs return a profile
+/// with supported == false.
+const CodegenProfile& codegen_profile(Model m, DeviceId d);
+
+/// Paper Table 1 cell ("", "Yes", "Native", "Offload", "Experimental").
+std::string_view support_cell(Model m, DeviceId d);
+
+/// True when the port keeps data resident on a remote device and must map it
+/// across the link at solve boundaries (GPU ports, KNC offload ports).
+bool uses_device_residency(Model m, DeviceId d);
+
+}  // namespace tl::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Simulated device catalogue.
+//
+// The paper's testbed (Table 2):
+//   - 2x Intel Xeon E5-2670 (Sandy Bridge, 16 cores):  102.4 GB/s peak, 76.2 STREAM
+//   - NVIDIA Tesla K20X:                               250.0 GB/s peak, 180.1 STREAM
+//   - Intel Xeon Phi 5110P / SE10P (KNC):              320.0 GB/s peak, 159.9 STREAM
+//
+// This environment has none of that hardware, so each device is a parametric
+// performance model: TeaLeaf is bandwidth bound, and the paper's own analysis
+// (its Fig 12) is expressed as a fraction of STREAM bandwidth, which is
+// exactly the quantity our model evolves.
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace tl::sim {
+
+enum class DeviceKind { kCpu, kGpu, kMic };
+
+enum class DeviceId {
+  kCpuSandyBridge,  // dual-socket Xeon E5-2670
+  kGpuK20X,         // NVIDIA Tesla K20X
+  kMicKnc,          // Xeon Phi Knights Corner
+};
+
+inline constexpr std::array<DeviceId, 3> kAllDevices = {
+    DeviceId::kCpuSandyBridge, DeviceId::kGpuK20X, DeviceId::kMicKnc};
+
+struct DeviceSpec {
+  DeviceId id{};
+  DeviceKind kind{};
+  std::string_view name;
+
+  double peak_bw_gbs = 0.0;    // theoretical peak memory bandwidth
+  double stream_bw_gbs = 0.0;  // measured STREAM bandwidth (paper Table 2)
+
+  int hardware_threads = 1;    // parallel lanes exposed to the models
+  std::size_t llc_bytes = 0;   // last-level cache capacity (CPU bend in Fig 11)
+  double cache_bw_boost = 1.0; // bandwidth multiplier when working set fits LLC
+
+  // Trait penalty dials: how much this device punishes particular code shapes.
+  double no_vectorize_factor = 1.0;  // scales a kernel's vector_sensitivity
+  double interior_branch_penalty = 1.0;  // x efficiency when halo test in body
+  double indirection_penalty = 1.0;      // x efficiency for gather traversal
+
+  // Host<->device link (PCIe for GPU/KNC offload; zero-cost for host models).
+  double link_bw_gbs = 0.0;    // 0 => host-resident, transfers are free
+  double link_latency_ns = 0.0;
+};
+
+const DeviceSpec& device_spec(DeviceId id);
+
+constexpr std::string_view device_short_name(DeviceId id) {
+  switch (id) {
+    case DeviceId::kCpuSandyBridge: return "cpu";
+    case DeviceId::kGpuK20X: return "gpu";
+    case DeviceId::kMicKnc: return "knc";
+  }
+  return "?";
+}
+
+std::optional<DeviceId> parse_device(std::string_view id);
+
+}  // namespace tl::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Identifiers for the programming-model ports evaluated by the paper.
+//
+// Each enumerator is one *port* of TeaLeaf (so the Kokkos hierarchical-
+// parallelism variant and the RAJA SIMD proof-of-concept are distinct ids,
+// exactly as they appear as separate series in the paper's figures).
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace tl::sim {
+
+enum class Model {
+  kFortran,    // OpenMP 3.0 Fortran 90 (device-tuned baseline)
+  kOmp3Cpp,    // OpenMP 3.0 C/C++ (origin of all ports)
+  kOmp4,       // OpenMP 4.0 target offload
+  kOpenAcc,    // OpenACC kernels/data directives
+  kKokkos,     // Kokkos functors, flat RangePolicy + loop-body halo branch
+  kKokkosHp,   // Kokkos hierarchical parallelism (TeamPolicy) variant
+  kRaja,       // RAJA forall over IndexSets (indirection lists)
+  kRajaSimd,   // RAJA + simd-annotated proof-of-concept loops
+  kOpenCl,     // OpenCL 1.2-style port
+  kCuda,       // CUDA port (device-tuned baseline on GPUs)
+};
+
+inline constexpr std::array<Model, 10> kAllModels = {
+    Model::kFortran, Model::kOmp3Cpp, Model::kOmp4,     Model::kOpenAcc,
+    Model::kKokkos,  Model::kKokkosHp, Model::kRaja,    Model::kRajaSimd,
+    Model::kOpenCl,  Model::kCuda,
+};
+
+constexpr std::string_view model_name(Model m) {
+  switch (m) {
+    case Model::kFortran: return "OpenMP F90";
+    case Model::kOmp3Cpp: return "OpenMP C++";
+    case Model::kOmp4: return "OpenMP 4.0";
+    case Model::kOpenAcc: return "OpenACC";
+    case Model::kKokkos: return "Kokkos";
+    case Model::kKokkosHp: return "Kokkos HP";
+    case Model::kRaja: return "RAJA";
+    case Model::kRajaSimd: return "RAJA SIMD";
+    case Model::kOpenCl: return "OpenCL";
+    case Model::kCuda: return "CUDA";
+  }
+  return "?";
+}
+
+/// Short machine-friendly identifier (CLI values, CSV columns).
+constexpr std::string_view model_id(Model m) {
+  switch (m) {
+    case Model::kFortran: return "fortran";
+    case Model::kOmp3Cpp: return "omp3";
+    case Model::kOmp4: return "omp4";
+    case Model::kOpenAcc: return "openacc";
+    case Model::kKokkos: return "kokkos";
+    case Model::kKokkosHp: return "kokkos_hp";
+    case Model::kRaja: return "raja";
+    case Model::kRajaSimd: return "raja_simd";
+    case Model::kOpenCl: return "opencl";
+    case Model::kCuda: return "cuda";
+  }
+  return "?";
+}
+
+std::optional<Model> parse_model(std::string_view id);
+
+}  // namespace tl::sim

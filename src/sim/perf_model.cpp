@@ -1,0 +1,98 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace tl::sim {
+
+PerfModel::PerfModel(Model model, DeviceId device, std::uint64_t run_seed)
+    : model_(model),
+      device_(&device_spec(device)),
+      profile_(&codegen_profile(model, device)) {
+  if (!profile_->supported) {
+    throw std::invalid_argument(std::string(model_name(model)) +
+                                " does not support " +
+                                std::string(device_->name) +
+                                " (paper Table 1)");
+  }
+  offloads_ = uses_device_residency(model, device);
+  scheduler_ = (profile_->scheduler == SchedulerKind::kWorkStealing)
+                   ? SchedulerModel::make_work_stealing(
+                         profile_->sched_run_factor_min,
+                         profile_->sched_run_factor_max,
+                         profile_->sched_launch_jitter)
+                   : SchedulerModel::make_static();
+  begin_run(run_seed);
+}
+
+void PerfModel::begin_run(std::uint64_t run_seed) {
+  scheduler_.begin_run(run_seed);
+}
+
+double PerfModel::efficiency(const KernelTraits& traits) const {
+  double eff = profile_->base_efficiency;
+
+  // Vectorisation: how much of the kernel's vector-borne performance is
+  // lost. Indirection traversal defeats auto-vectorisation entirely unless
+  // the port forces it with a simd directive (RAJA SIMD).
+  double vq = profile_->vector_quality;
+  if (!traits.vectorizable || (traits.indirection && !profile_->simd_forced)) {
+    vq = 0.0;
+  }
+  const double sensitivity = std::min(
+      1.0, traits.vector_sensitivity * device_->no_vectorize_factor);
+  eff *= 1.0 - sensitivity * (1.0 - vq);
+
+  if (traits.interior_branch) eff *= device_->interior_branch_penalty;
+  if (traits.indirection) eff *= device_->indirection_penalty;
+  if (traits.reduction) eff *= profile_->reduction_efficiency;
+
+  return std::max(eff, 1e-3);
+}
+
+double PerfModel::cache_factor(std::size_t working_set_bytes) const {
+  if (device_->cache_bw_boost <= 1.0 || device_->llc_bytes == 0 ||
+      working_set_bytes == 0) {
+    return 1.0;
+  }
+  // Smooth transition: fully boosted well inside the LLC, fading to DRAM
+  // bandwidth as the working set overflows it (the Fig 11 CPU bend).
+  const double ratio = static_cast<double>(working_set_bytes) /
+                       static_cast<double>(device_->llc_bytes);
+  const double fit = 1.0 / (1.0 + std::exp((ratio - 1.0) / 0.25));
+  return 1.0 + (device_->cache_bw_boost - 1.0) * fit;
+}
+
+double PerfModel::effective_bandwidth_gbs(const KernelTraits& traits,
+                                          std::size_t working_set_bytes) const {
+  return device_->stream_bw_gbs * efficiency(traits) *
+         cache_factor(working_set_bytes);
+}
+
+double PerfModel::launch_ns(const LaunchInfo& info) {
+  // Work-stealing luck scales the whole launch (dispatch and compute alike);
+  // static schedules leave the factor at 1.
+  const double sched = scheduler_.launch_factor();
+  const double bw_gbs =
+      effective_bandwidth_gbs(info.traits, info.working_set_bytes);
+  const double bytes =
+      static_cast<double>(info.bytes_read + info.bytes_written);
+  double ns =
+      (profile_->launch_overhead_ns + bytes / bw_gbs) / sched;  // B/(GB/s)=ns
+  if (info.traits.reduction) {
+    ns += profile_->reduction_overhead_ns;
+    // Offloaded reductions ship the scalar result back across the link.
+    if (offloads_) ns += device_->link_latency_ns * 0.1;
+  }
+  return ns;
+}
+
+double PerfModel::transfer_ns(const TransferInfo& info) const {
+  if (!offloads_) return 0.0;  // host device or natively compiled port
+  return device_->link_latency_ns +
+         static_cast<double>(info.bytes) / device_->link_bw_gbs;
+}
+
+}  // namespace tl::sim

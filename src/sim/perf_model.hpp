@@ -1,0 +1,66 @@
+#pragma once
+// PerfModel: turns a kernel launch or transfer into simulated nanoseconds for
+// one (programming model, device) pair.
+//
+//   time = launch_overhead
+//        + bytes / (STREAM_bw * efficiency * cache_factor * sched_factor)
+//        (+ reduction overhead for reduction kernels)
+//
+//   efficiency = base_efficiency                        [codegen profile]
+//              * vector_penalty(traits, profile, device)
+//              * branch/indirection penalties           [device dials]
+//              * reduction_efficiency (reduction kernels only)
+//
+// Transfers cross the host<->device link: latency + bytes / link_bw.
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "sim/codegen.hpp"
+#include "sim/device.hpp"
+#include "sim/traits.hpp"
+
+namespace tl::sim {
+
+class PerfModel {
+ public:
+  /// Throws std::invalid_argument if the pair is unsupported (Table 1).
+  PerfModel(Model model, DeviceId device, std::uint64_t run_seed = 1);
+
+  Model model() const noexcept { return model_; }
+  const DeviceSpec& device() const noexcept { return *device_; }
+  const CodegenProfile& profile() const noexcept { return *profile_; }
+
+  /// Re-seeds the scheduler "run luck" (one process lifetime in the paper's
+  /// 15-run OpenCL variance experiment == one begin_run here).
+  void begin_run(std::uint64_t run_seed);
+
+  /// Simulated cost of one kernel launch. Non-const: work-stealing
+  /// schedulers consume randomness per launch.
+  double launch_ns(const LaunchInfo& info);
+
+  /// Simulated cost of one host<->device transfer. Free on host devices and
+  /// for natively compiled ports (data already lives on the card).
+  double transfer_ns(const TransferInfo& info) const;
+
+  /// True when this (model, device) pair moves data across a link.
+  bool offloads() const noexcept { return offloads_; }
+
+  /// Steady-state effective bandwidth (GB/s) for a launch, excluding
+  /// overheads and scheduler noise — used by analytic big-mesh metering and
+  /// by tests that pin down the efficiency arithmetic.
+  double effective_bandwidth_gbs(const KernelTraits& traits,
+                                 std::size_t working_set_bytes) const;
+
+ private:
+  double efficiency(const KernelTraits& traits) const;
+  double cache_factor(std::size_t working_set_bytes) const;
+
+  Model model_;
+  const DeviceSpec* device_;
+  const CodegenProfile* profile_;
+  SchedulerModel scheduler_;
+  bool offloads_ = false;
+};
+
+}  // namespace tl::sim

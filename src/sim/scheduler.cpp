@@ -1,0 +1,23 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace tl::sim {
+
+void SchedulerModel::begin_run(std::uint64_t seed) {
+  rng_.reseed(seed);
+  if (kind_ == SchedulerKind::kStatic) {
+    run_factor_ = 1.0;
+    return;
+  }
+  run_factor_ = rng_.uniform(run_factor_min_, run_factor_max_);
+}
+
+double SchedulerModel::launch_factor() {
+  if (kind_ == SchedulerKind::kStatic) return 1.0;
+  // Small zero-mean per-launch wobble on top of the run-level factor.
+  const double jitter = 1.0 + launch_jitter_ * (2.0 * rng_.next_double() - 1.0);
+  return std::clamp(run_factor_ * jitter, 0.05, 1.0);
+}
+
+}  // namespace tl::sim

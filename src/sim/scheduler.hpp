@@ -1,0 +1,55 @@
+#pragma once
+// Scheduler models.
+//
+// The paper observed that Intel's OpenCL CPU runtime schedules with TBB's
+// non-deterministic work stealing, producing a 1631 s .. 2813 s spread over
+// 15 identical runs, while every other model (static OpenMP-style schedules)
+// was stable. We model a scheduler as an efficiency factor: static schedules
+// return 1.0; work stealing samples a run-level factor (the luck of the
+// stealing pattern for that process lifetime) plus small per-launch noise.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tl::sim {
+
+enum class SchedulerKind { kStatic, kWorkStealing };
+
+class SchedulerModel {
+ public:
+  SchedulerModel() = default;
+  SchedulerModel(SchedulerKind kind, double run_factor_min, double run_factor_max,
+                 double launch_jitter)
+      : kind_(kind),
+        run_factor_min_(run_factor_min),
+        run_factor_max_(run_factor_max),
+        launch_jitter_(launch_jitter) {}
+
+  static SchedulerModel make_static() { return SchedulerModel{}; }
+  static SchedulerModel make_work_stealing(double run_factor_min,
+                                           double run_factor_max,
+                                           double launch_jitter) {
+    return SchedulerModel{SchedulerKind::kWorkStealing, run_factor_min,
+                          run_factor_max, launch_jitter};
+  }
+
+  SchedulerKind kind() const noexcept { return kind_; }
+
+  /// Starts a new process-lifetime epoch: samples this run's stealing luck.
+  void begin_run(std::uint64_t seed);
+
+  /// Efficiency multiplier for one launch in the current run.
+  double launch_factor();
+
+ private:
+  SchedulerKind kind_ = SchedulerKind::kStatic;
+  double run_factor_min_ = 1.0;
+  double run_factor_max_ = 1.0;
+  double launch_jitter_ = 0.0;
+
+  double run_factor_ = 1.0;
+  tl::util::Rng rng_{0};
+};
+
+}  // namespace tl::sim

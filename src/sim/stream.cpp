@@ -1,0 +1,131 @@
+#include "sim/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/perf_model.hpp"
+#include "util/buffer.hpp"
+
+namespace tl::sim {
+
+namespace {
+
+constexpr double kInitA = 1.0;
+constexpr double kInitB = 2.0;
+constexpr double kInitC = 0.0;
+constexpr double kScalar = 3.0;
+
+struct KernelCost {
+  std::size_t bytes_read;
+  std::size_t bytes_written;
+};
+
+/// Computes GB/s for a kernel, given the simulated elapsed ns.
+double gbs(const KernelCost& cost, double ns) {
+  return static_cast<double>(cost.bytes_read + cost.bytes_written) / ns;
+}
+
+/// Shared driver: runs the four kernels `repeats` times, keeping the best
+/// (minimum-time) bandwidth per kernel, STREAM style. `meter` maps a
+/// KernelCost to simulated ns.
+template <typename Meter>
+StreamResult run_stream_impl(std::size_t len, int repeats, Meter&& meter) {
+  StreamResult result;
+  result.array_len = len;
+  result.repeats = repeats;
+
+  tl::util::Buffer<double> a(len), b(len), c(len);
+  a.fill(kInitA);
+  b.fill(kInitB);
+  c.fill(kInitC);
+
+  const std::size_t n8 = len * sizeof(double);
+  const KernelCost copy_cost{n8, n8};
+  const KernelCost scale_cost{n8, n8};
+  const KernelCost add_cost{2 * n8, n8};
+  const KernelCost triad_cost{2 * n8, n8};
+
+  double best_copy = 0.0, best_scale = 0.0, best_add = 0.0, best_triad = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    // copy: c = a
+    for (std::size_t i = 0; i < len; ++i) c[i] = a[i];
+    best_copy = std::max(best_copy, gbs(copy_cost, meter(copy_cost)));
+    // scale: b = s * c
+    for (std::size_t i = 0; i < len; ++i) b[i] = kScalar * c[i];
+    best_scale = std::max(best_scale, gbs(scale_cost, meter(scale_cost)));
+    // add: c = a + b
+    for (std::size_t i = 0; i < len; ++i) c[i] = a[i] + b[i];
+    best_add = std::max(best_add, gbs(add_cost, meter(add_cost)));
+    // triad: a = b + s * c
+    for (std::size_t i = 0; i < len; ++i) a[i] = b[i] + kScalar * c[i];
+    best_triad = std::max(best_triad, gbs(triad_cost, meter(triad_cost)));
+  }
+  result.copy_gbs = best_copy;
+  result.scale_gbs = best_scale;
+  result.add_gbs = best_add;
+  result.triad_gbs = best_triad;
+
+  // STREAM-style verification of final array contents.
+  double ea = kInitA, eb = kInitB, ec = kInitC;
+  for (int r = 0; r < repeats; ++r) {
+    ec = ea;
+    eb = kScalar * ec;
+    ec = ea + eb;
+    ea = eb + kScalar * ec;
+  }
+  auto close = [](double x, double y) {
+    return std::abs(x - y) <= 1e-12 * std::max({std::abs(x), std::abs(y), 1.0});
+  };
+  result.verified = true;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!close(a[i], ea) || !close(b[i], eb) || !close(c[i], ec)) {
+      result.verified = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+double StreamResult::best_gbs() const {
+  return std::max({copy_gbs, scale_gbs, add_gbs, triad_gbs});
+}
+
+std::size_t default_stream_length() {
+  std::size_t max_llc = 0;
+  for (const DeviceId d : kAllDevices) {
+    max_llc = std::max(max_llc, device_spec(d).llc_bytes);
+  }
+  return 4 * max_llc / sizeof(double);
+}
+
+StreamResult run_stream(DeviceId device, std::size_t array_len, int repeats) {
+  const DeviceSpec& dev = device_spec(device);
+  if (array_len == 0) array_len = default_stream_length();
+  // Device-tuned: efficiency 1.0 by definition of STREAM bandwidth; arrays
+  // exceed the LLC, so there is no cache boost either.
+  return run_stream_impl(array_len, repeats, [&](const KernelCost& cost) {
+    return static_cast<double>(cost.bytes_read + cost.bytes_written) /
+           dev.stream_bw_gbs;
+  });
+}
+
+StreamResult run_stream(Model model, DeviceId device, std::size_t array_len,
+                        int repeats) {
+  if (array_len == 0) array_len = default_stream_length();
+  PerfModel perf(model, device, /*run_seed=*/42);
+  const std::size_t ws = 3 * array_len * sizeof(double);
+  return run_stream_impl(array_len, repeats, [&](const KernelCost& cost) {
+    LaunchInfo info;
+    info.name = "stream";
+    info.traits.vector_sensitivity = 0.2;  // streaming kernels vectorise well
+    info.items = array_len;
+    info.bytes_read = cost.bytes_read;
+    info.bytes_written = cost.bytes_written;
+    info.working_set_bytes = ws;
+    return perf.launch_ns(info);
+  });
+}
+
+}  // namespace tl::sim

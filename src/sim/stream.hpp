@@ -1,0 +1,45 @@
+#pragma once
+// STREAM (McCalpin) benchmark over the simulated devices.
+//
+// Table 2 of the paper reports each device's peak and STREAM bandwidth, and
+// Fig 12 expresses every port's achieved bandwidth as a fraction of STREAM.
+// This harness executes the four STREAM kernels for real (verifying the
+// arithmetic) while metering simulated time, either
+//   - device-tuned: the best streaming code the device can run (reproduces
+//     Table 2 by construction: that is what STREAM bandwidth *means* in the
+//     model), or
+//   - through a programming model's codegen profile, showing what fraction
+//     of STREAM a pure streaming kernel under that model would reach.
+
+#include <cstddef>
+
+#include "sim/device.hpp"
+#include "sim/model_id.hpp"
+
+namespace tl::sim {
+
+struct StreamResult {
+  std::size_t array_len = 0;
+  int repeats = 0;
+  double copy_gbs = 0.0;
+  double scale_gbs = 0.0;
+  double add_gbs = 0.0;
+  double triad_gbs = 0.0;
+  bool verified = false;
+
+  double best_gbs() const;
+};
+
+/// STREAM array length large enough to defeat every LLC in the catalogue
+/// (4x the largest cache), matching STREAM's own sizing rule.
+std::size_t default_stream_length();
+
+/// Device-tuned STREAM (Table 2 reproduction).
+StreamResult run_stream(DeviceId device, std::size_t array_len = 0,
+                        int repeats = 5);
+
+/// STREAM through a programming model's codegen profile.
+StreamResult run_stream(Model model, DeviceId device,
+                        std::size_t array_len = 0, int repeats = 5);
+
+}  // namespace tl::sim

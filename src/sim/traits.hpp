@@ -1,0 +1,62 @@
+#pragma once
+// Kernel traits and launch descriptors.
+//
+// Every kernel a port launches is described by a KernelTraits record: the
+// *shape* of the code the programming model generated, not what the kernel
+// computes. The device model maps these traits to bandwidth penalties; this
+// is how the paper's qualitative observations (indirection defeats
+// vectorisation, loop-body halo tests are pathological on KNC, reductions
+// hurt on offload paths) become emergent quantities instead of hard-coded
+// results.
+
+#include <cstddef>
+#include <string_view>
+
+namespace tl::sim {
+
+struct KernelTraits {
+  /// Can the model's code generation vectorise the inner loop at all?
+  /// (RAJA indirection-list traversal cannot; the SIMD proof-of-concept and
+  /// direct range loops can.)
+  bool vectorizable = true;
+
+  /// Fraction of the kernel's performance that rides on the vector units.
+  /// TeaLeaf's Chebyshev iteration kernel is the vector-critical extreme
+  /// (0.4); the CG/PPCG kernels sit near 0.2 (paper section 4.1).
+  double vector_sensitivity = 0.2;
+
+  /// Halo-exclusion conditional inside the loop body (flat Kokkos functors).
+  bool interior_branch = false;
+
+  /// Traversal through an indirection list (RAJA IndexSets).
+  bool indirection = false;
+
+  /// Kernel performs a global reduction (dot product, norm, summary).
+  bool reduction = false;
+
+  /// Hierarchical (team/league) parallelism: re-encodes halo exclusion into
+  /// the iteration space, at the cost of a second level of dispatch.
+  bool hierarchical = false;
+};
+
+/// One kernel launch, as metered by the performance model.
+struct LaunchInfo {
+  std::string_view name = "kernel";
+  KernelTraits traits{};
+  std::size_t items = 0;          // iteration-space size
+  std::size_t bytes_read = 0;     // main-memory traffic generated
+  std::size_t bytes_written = 0;
+  std::size_t flops = 0;
+  /// Total distinct bytes the *solve* is cycling through per iteration; the
+  /// CPU cache model compares this with the LLC capacity (Fig 11 bend).
+  std::size_t working_set_bytes = 0;
+};
+
+/// One host<->device transfer (data map / update / buffer copy).
+struct TransferInfo {
+  std::string_view name = "transfer";
+  std::size_t bytes = 0;
+  bool to_device = true;
+};
+
+}  // namespace tl::sim

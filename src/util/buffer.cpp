@@ -1,0 +1,11 @@
+// Buffer is header-only; this translation unit exists so the util library
+// always has at least one object for the archive and to catch ODR problems
+// in the header early.
+#include "util/buffer.hpp"
+
+namespace tl::util {
+// Explicit instantiation of the common case keeps template code generation
+// out of every including translation unit.
+template class Buffer<double>;
+template class Buffer<int>;
+}  // namespace tl::util

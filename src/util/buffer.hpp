@@ -1,0 +1,101 @@
+#pragma once
+// Buffer: an owning, cache-line-aligned, zero-initialised array of doubles
+// (or any trivially copyable T). This is the single allocation primitive for
+// all field storage; ports layer model-specific "device memory" abstractions
+// on top of it.
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/span2d.hpp"
+
+namespace tl::util {
+
+/// Cache-line size assumed for alignment of field allocations.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class Buffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Buffer only supports trivially copyable element types");
+
+ public:
+  Buffer() noexcept = default;
+
+  explicit Buffer(std::size_t count) { resize(count); }
+
+  Buffer(const Buffer& other) { copy_from(other); }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
+  Buffer(Buffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  ~Buffer() { release(); }
+
+  /// Re-allocates to `count` elements, zero-filled. Existing contents are
+  /// discarded (fields are always fully re-initialised by kernels).
+  void resize(std::size_t count) {
+    release();
+    if (count == 0) return;
+    void* p = std::aligned_alloc(kCacheLineBytes,
+                                 round_up(count * sizeof(T), kCacheLineBytes));
+    if (p == nullptr) throw std::bad_alloc();
+    data_ = static_cast<T*>(p);
+    count_ = count;
+    std::memset(data_, 0, count * sizeof(T));
+  }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < count_; ++i) data_[i] = value;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  Span2D<T> view2d(int nx, int ny) noexcept { return {data_, nx, ny}; }
+  Span2D<const T> view2d(int nx, int ny) const noexcept {
+    return {data_, nx, ny};
+  }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t m) {
+    return (v + m - 1) / m * m;
+  }
+
+  void copy_from(const Buffer& other) {
+    resize(other.count_);
+    if (count_ != 0) std::memcpy(data_, other.data_, count_ * sizeof(T));
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tl::util

@@ -1,0 +1,29 @@
+#pragma once
+// Minimal CSV writer for benchmark outputs. Every figure bench emits both a
+// console table and a CSV file so the results can be re-plotted.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tl::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Appends a row; the number of cells must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace tl::util

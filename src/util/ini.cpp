@@ -1,0 +1,121 @@
+#include "util/ini.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace tl::util {
+
+IniConfig IniConfig::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("IniConfig: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+IniConfig IniConfig::parse(const std::string& text) {
+  IniConfig cfg;
+  int lineno = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++lineno;
+    std::string line = trim(raw);
+    // Strip comments.
+    for (const char marker : {'!', '#'}) {
+      const auto pos = line.find(marker);
+      if (pos != std::string::npos) line = trim(line.substr(0, pos));
+    }
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') continue;  // section: flat
+
+    if (starts_with(to_lower(line), "state ")) {
+      StateLine st;
+      const auto tokens = split(line, ' ');
+      if (tokens.size() < 2) {
+        throw std::runtime_error(strf("IniConfig: bad state line %d", lineno));
+      }
+      const auto idx = parse_long(tokens[1]);
+      if (!idx) {
+        throw std::runtime_error(strf("IniConfig: bad state index line %d", lineno));
+      }
+      st.index = static_cast<int>(*idx);
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::string tok = trim(tokens[i]);
+        if (tok.empty()) continue;
+        const auto kv = split(tok, '=');
+        if (kv.size() != 2) {
+          throw std::runtime_error(
+              strf("IniConfig: bad state field '%s' line %d", tok.c_str(), lineno));
+        }
+        const auto v = parse_double(kv[1]);
+        if (!v) {
+          throw std::runtime_error(
+              strf("IniConfig: bad state value '%s' line %d", tok.c_str(), lineno));
+        }
+        st.fields[to_lower(trim(kv[0]))] = *v;
+      }
+      cfg.states_.push_back(std::move(st));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      cfg.values_[to_lower(line)] = "true";  // bare flag, e.g. use_cg
+    } else {
+      const std::string key = to_lower(trim(line.substr(0, eq)));
+      const std::string value = trim(line.substr(eq + 1));
+      if (key.empty()) {
+        throw std::runtime_error(strf("IniConfig: empty key line %d", lineno));
+      }
+      cfg.values_[key] = value;
+    }
+  }
+  return cfg;
+}
+
+bool IniConfig::has(const std::string& key) const {
+  return values_.count(to_lower(key)) != 0;
+}
+
+std::optional<std::string> IniConfig::get(const std::string& key) const {
+  const auto it = values_.find(to_lower(key));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string IniConfig::get_or(const std::string& key,
+                              const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double IniConfig::get_double_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto d = parse_double(*v);
+  if (!d) throw std::runtime_error("IniConfig: key '" + key + "' is not a number");
+  return *d;
+}
+
+long IniConfig::get_long_or(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto d = parse_long(*v);
+  if (!d) throw std::runtime_error("IniConfig: key '" + key + "' is not an integer");
+  return *d;
+}
+
+bool IniConfig::get_bool_or(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto b = parse_bool(*v);
+  if (!b) throw std::runtime_error("IniConfig: key '" + key + "' is not a bool");
+  return *b;
+}
+
+void IniConfig::set(const std::string& key, const std::string& value) {
+  values_[to_lower(key)] = value;
+}
+
+}  // namespace tl::util

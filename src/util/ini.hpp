@@ -1,0 +1,49 @@
+#pragma once
+// Tiny tea.in-style config parser.
+//
+// TeaLeaf reads a flat "key=value" deck (tea.in) with bare flags and state
+// lines. We support:
+//   key=value            scalars
+//   key                  bare boolean flags (e.g. use_cg)
+//   state N key=value... multi-field state definitions
+//   ! or # comments
+// Section headers [name] are accepted and ignored (flat namespace), matching
+// the original deck format's simplicity.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tl::util {
+
+class IniConfig {
+ public:
+  IniConfig() = default;
+
+  /// Parses deck text; throws std::runtime_error with line info on errors.
+  static IniConfig parse(const std::string& text);
+  static IniConfig parse_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  long get_long_or(const std::string& key, long fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  /// `state <n> density=<d> energy=<e> xmin=.. xmax=.. ymin=.. ymax=..`
+  struct StateLine {
+    int index = 0;
+    std::map<std::string, double> fields;
+  };
+  const std::vector<StateLine>& states() const noexcept { return states_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<StateLine> states_;
+};
+
+}  // namespace tl::util

@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace tl::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, const char* fmt, va_list args) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+#define TLM_DEFINE_LOG_FN(name, level)            \
+  void name(const char* fmt, ...) {               \
+    va_list args;                                 \
+    va_start(args, fmt);                          \
+    vlog(level, fmt, args);                       \
+    va_end(args);                                 \
+  }
+
+TLM_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+TLM_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+TLM_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+TLM_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef TLM_DEFINE_LOG_FN
+
+}  // namespace tl::util

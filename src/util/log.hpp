@@ -1,0 +1,23 @@
+#pragma once
+// Leveled logging to stderr. Kept deliberately simple: benches and examples
+// print their primary output with tables/CSV; the log is for diagnostics.
+
+#include <string>
+
+namespace tl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library code stays quiet in tests unless something is wrong.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& message);
+
+[[gnu::format(printf, 1, 2)]] void log_debug(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_info(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_warn(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_error(const char* fmt, ...);
+
+}  // namespace tl::util

@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (work-stealing jitter, workload
+// generators) must be reproducible, so everything draws from this explicit
+// xoshiro256** generator rather than std::random_device / global state.
+
+#include <cstdint>
+
+namespace tl::util {
+
+/// SplitMix64: used to seed xoshiro from a single 64-bit seed.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** by Blackman & Vigna — small, fast, high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double next_normal() noexcept;
+
+ private:
+  std::uint64_t s_[4] = {};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace tl::util

@@ -1,0 +1,56 @@
+#pragma once
+// span2d: a non-owning two-dimensional view over contiguous row-major storage.
+//
+// TeaLeaf fields are (nx + 2*halo) x (ny + 2*halo) cell-centred arrays. All
+// kernels index through this view so that halo offsets are handled in exactly
+// one place. Index convention follows the TeaLeaf sources: x is the fast
+// (contiguous) dimension, (0,0) is the first *allocated* cell including halo.
+
+#include <cassert>
+#include <cstddef>
+
+namespace tl::util {
+
+template <typename T>
+class Span2D {
+ public:
+  constexpr Span2D() noexcept = default;
+  constexpr Span2D(T* data, int nx, int ny) noexcept
+      : data_(data), nx_(nx), ny_(ny) {
+    assert(nx >= 0 && ny >= 0);
+  }
+
+  /// Element access: x is the contiguous dimension.
+  constexpr T& operator()(int x, int y) const noexcept {
+    assert(x >= 0 && x < nx_);
+    assert(y >= 0 && y < ny_);
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(x)];
+  }
+
+  /// Flat access over the whole allocation (used by 1-D flattened kernels).
+  constexpr T& operator[](std::size_t i) const noexcept {
+    assert(i < size());
+    return data_[i];
+  }
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr int nx() const noexcept { return nx_; }
+  constexpr int ny() const noexcept { return ny_; }
+  constexpr std::size_t size() const noexcept {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  }
+  constexpr bool empty() const noexcept { return size() == 0; }
+
+  /// Conversion to a const view.
+  constexpr operator Span2D<const T>() const noexcept {
+    return Span2D<const T>(data_, nx_, ny_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  int nx_ = 0;
+  int ny_ = 0;
+};
+
+}  // namespace tl::util

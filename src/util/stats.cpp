@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  if (n > 1) {
+    double ss = 0.0;
+    for (double v : sorted) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_linear: need >=2 equally sized samples");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (denom == 0.0) {
+    f.intercept = sy / n;
+    return f;
+  }
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (f.intercept + f.slope * x[i]);
+      ss_res += e * e;
+    }
+    f.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    f.r2 = 1.0;
+  }
+  return f;
+}
+
+double PowerFit::eval(double x) const {
+  return coefficient * std::pow(x, exponent);
+}
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_power: need >=2 equally sized samples");
+  }
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) {
+      throw std::invalid_argument("fit_power: inputs must be positive");
+    }
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerFit p;
+  p.coefficient = std::exp(lin.intercept);
+  p.exponent = lin.slope;
+  p.r2 = lin.r2;
+  return p;
+}
+
+double rel_diff(double a, double b, double eps) {
+  const double scale = std::max({std::abs(a), std::abs(b), eps});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace tl::util

@@ -1,0 +1,98 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tl::util {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  const std::string tmp = trim(s);
+  if (tmp.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<long> parse_long(std::string_view s) {
+  const std::string tmp = trim(s);
+  if (tmp.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(tmp.c_str(), &end, 10);
+  if (end != tmp.c_str() + tmp.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> parse_bool(std::string_view s) {
+  const std::string t = to_lower(trim(s));
+  if (t == "1" || t == "true" || t == "on" || t == "yes") return true;
+  if (t == "0" || t == "false" || t == "off" || t == "no") return false;
+  return std::nullopt;
+}
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::string human_count(double v) {
+  const double a = std::abs(v);
+  if (a >= 1e9) return strf("%.2fG", v / 1e9);
+  if (a >= 1e6) return strf("%.2fM", v / 1e6);
+  if (a >= 1e3) return strf("%.2fk", v / 1e3);
+  return strf("%.0f", v);
+}
+
+std::string human_seconds(double seconds) {
+  const double a = std::abs(seconds);
+  if (a >= 1.0) return strf("%.2f s", seconds);
+  if (a >= 1e-3) return strf("%.2f ms", seconds * 1e3);
+  if (a >= 1e-6) return strf("%.2f us", seconds * 1e6);
+  return strf("%.1f ns", seconds * 1e9);
+}
+
+}  // namespace tl::util

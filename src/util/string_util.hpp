@@ -1,0 +1,30 @@
+#pragma once
+// String helpers shared by the config parser, CLI, and table/CSV writers.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tl::util {
+
+std::string trim(std::string_view s);
+std::string to_lower(std::string_view s);
+std::vector<std::string> split(std::string_view s, char delim);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+std::optional<double> parse_double(std::string_view s);
+std::optional<long> parse_long(std::string_view s);
+std::optional<bool> parse_bool(std::string_view s);
+
+/// printf-style formatting into std::string (type-checked by the compiler).
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+
+/// Human-readable engineering formatting: 1536 -> "1.54e3" style is avoided;
+/// produces "1.5k", "2.3M", "4.1G" for table output.
+std::string human_count(double v);
+
+/// Seconds -> "123.4 s" / "12.3 ms" etc.
+std::string human_seconds(double seconds);
+
+}  // namespace tl::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace tl::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+bool Table::looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return parse_double(s).has_value() ||
+         (s.size() > 1 && (s.back() == '%' || s.back() == 's') &&
+          parse_double(s.substr(0, s.size() - 1)).has_value());
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      const std::size_t pad = width[c] - r[c].size();
+      if (looks_numeric(r[c])) {
+        out.append(pad, ' ');
+        out += r[c];
+      } else {
+        out += r[c];
+        out.append(pad, ' ');
+      }
+    }
+    out += " |\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += (c == 0) ? "|-" : "-|-";
+    out.append(width[c], '-');
+  }
+  out += "-|\n";
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace tl::util

@@ -1,0 +1,30 @@
+#pragma once
+// Console table printer: every bench prints paper-style rows with this so
+// output formatting is consistent across the harnesses.
+
+#include <string>
+#include <vector>
+
+namespace tl::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table with column alignment; numeric-looking cells are
+  /// right-aligned, text is left-aligned.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  static bool looks_numeric(const std::string& s);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tl::util

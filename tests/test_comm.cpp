@@ -1,0 +1,326 @@
+// Unit tests for src/comm: the in-process message-passing substrate, block
+// decomposition, and halo exchange.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "comm/decomposition.hpp"
+#include "comm/halo.hpp"
+#include "comm/minimpi.hpp"
+#include "util/buffer.hpp"
+
+namespace c = tl::comm;
+using tl::util::Buffer;
+using tl::util::Span2D;
+
+// ---------------------------------------------------------------------------
+// MiniComm
+// ---------------------------------------------------------------------------
+
+TEST(MiniComm, SendRecvDeliversInOrder) {
+  c::run_ranks(2, [](c::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double a[2] = {1.0, 2.0};
+      const double b[2] = {3.0, 4.0};
+      comm.send(a, 1, 7);
+      comm.send(b, 1, 7);
+    } else {
+      double buf[2];
+      comm.recv(buf, 0, 7);
+      EXPECT_EQ(buf[0], 1.0);
+      comm.recv(buf, 0, 7);
+      EXPECT_EQ(buf[0], 3.0);
+    }
+  });
+}
+
+TEST(MiniComm, TagsSelectMessages) {
+  c::run_ranks(2, [](c::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double a[1] = {10.0};
+      const double b[1] = {20.0};
+      comm.send(a, 1, 1);
+      comm.send(b, 1, 2);
+    } else {
+      double buf[1];
+      comm.recv(buf, 0, 2);  // out of arrival order
+      EXPECT_EQ(buf[0], 20.0);
+      comm.recv(buf, 0, 1);
+      EXPECT_EQ(buf[0], 10.0);
+    }
+  });
+}
+
+TEST(MiniComm, SizeMismatchThrows) {
+  EXPECT_THROW(c::run_ranks(2,
+                            [](c::Communicator& comm) {
+                              if (comm.rank() == 0) {
+                                const double a[2] = {1, 2};
+                                comm.send(a, 1, 0);
+                              } else {
+                                double buf[3];
+                                comm.recv(buf, 0, 0);
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(MiniComm, AllreduceSumMinMax) {
+  c::run_ranks(4, [](c::Communicator& comm) {
+    const double v = static_cast<double>(comm.rank() + 1);
+    EXPECT_DOUBLE_EQ(comm.allreduce(v, c::Communicator::ReduceOp::kSum), 10.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(v, c::Communicator::ReduceOp::kMin), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(v, c::Communicator::ReduceOp::kMax), 4.0);
+  });
+}
+
+TEST(MiniComm, AllreduceVector) {
+  c::run_ranks(3, [](c::Communicator& comm) {
+    double vals[2] = {1.0, static_cast<double>(comm.rank())};
+    comm.allreduce(vals, c::Communicator::ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(vals[0], 3.0);
+    EXPECT_DOUBLE_EQ(vals[1], 3.0);  // 0+1+2
+  });
+}
+
+TEST(MiniComm, BroadcastFromNonZeroRoot) {
+  c::run_ranks(3, [](c::Communicator& comm) {
+    double data[2] = {0.0, 0.0};
+    if (comm.rank() == 2) {
+      data[0] = 5.0;
+      data[1] = 6.0;
+    }
+    comm.broadcast(data, 2);
+    EXPECT_DOUBLE_EQ(data[0], 5.0);
+    EXPECT_DOUBLE_EQ(data[1], 6.0);
+  });
+}
+
+TEST(MiniComm, GatherToRoot) {
+  c::run_ranks(4, [](c::Communicator& comm) {
+    const auto out = comm.gather(static_cast<double>(comm.rank() * 2), 1);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(out.size(), 4u);
+      for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(out[r], 2.0 * r);
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST(MiniComm, BarrierSynchronises) {
+  std::atomic<int> before{0};
+  std::atomic<bool> ok{true};
+  c::run_ranks(4, [&](c::Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    if (before.load() != 4) ok = false;
+    comm.barrier();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(MiniComm, RankExceptionPropagates) {
+  EXPECT_THROW(c::run_ranks(2,
+                            [](c::Communicator& comm) {
+                              if (comm.rank() == 1) {
+                                throw std::runtime_error("boom");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(MiniComm, ManyRanksStress) {
+  // Ring pass-around with 8 ranks, several laps.
+  c::run_ranks(8, [](c::Communicator& comm) {
+    const int n = comm.size();
+    double token[1] = {static_cast<double>(comm.rank())};
+    for (int lap = 0; lap < 5; ++lap) {
+      comm.sendrecv(token, (comm.rank() + 1) % n, token,
+                    (comm.rank() + n - 1) % n, lap);
+    }
+    // After 5 laps the token originated 5 ranks upstream.
+    EXPECT_DOUBLE_EQ(token[0],
+                     static_cast<double>((comm.rank() + n - 5) % n));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// BlockDecomposition
+// ---------------------------------------------------------------------------
+
+TEST(Decomposition, SingleRankCoversEverything) {
+  const c::BlockDecomposition d(10, 7, 1);
+  const auto& t = d.tile(0);
+  EXPECT_EQ(t.nx(), 10);
+  EXPECT_EQ(t.ny(), 7);
+  for (const auto f : c::kAllFaces) EXPECT_FALSE(t.has_neighbour(f));
+}
+
+TEST(Decomposition, TilesPartitionTheMesh) {
+  const c::BlockDecomposition d(37, 23, 6);
+  std::vector<int> cover(37 * 23, 0);
+  for (const auto& t : d.tiles()) {
+    for (int y = t.y_begin; y < t.y_end; ++y) {
+      for (int x = t.x_begin; x < t.x_end; ++x) ++cover[y * 37 + x];
+    }
+  }
+  for (const int c_ : cover) EXPECT_EQ(c_, 1);
+}
+
+TEST(Decomposition, PrefersSquareGridForSquareMesh) {
+  const c::BlockDecomposition d(100, 100, 4);
+  EXPECT_EQ(d.grid_x(), 2);
+  EXPECT_EQ(d.grid_y(), 2);
+}
+
+TEST(Decomposition, NeighboursAreMutual) {
+  const c::BlockDecomposition d(64, 64, 8);
+  for (const auto& t : d.tiles()) {
+    if (t.has_neighbour(c::Face::kRight)) {
+      const auto& n = d.tile(t.neighbour_of(c::Face::kRight));
+      EXPECT_EQ(n.neighbour_of(c::Face::kLeft), t.rank);
+      EXPECT_EQ(n.x_begin, t.x_end);
+    }
+    if (t.has_neighbour(c::Face::kTop)) {
+      const auto& n = d.tile(t.neighbour_of(c::Face::kTop));
+      EXPECT_EQ(n.neighbour_of(c::Face::kBottom), t.rank);
+      EXPECT_EQ(n.y_begin, t.y_end);
+    }
+  }
+}
+
+TEST(Decomposition, InvalidArgumentsThrow) {
+  EXPECT_THROW(c::BlockDecomposition(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(c::BlockDecomposition(4, 4, 0), std::invalid_argument);
+  EXPECT_THROW(c::BlockDecomposition(2, 2, 64), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Halo: reflection
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Builds a (nx+2h)x(ny+2h) field whose interior holds f(x, y).
+template <typename F>
+Buffer<double> make_field(int nx, int ny, int h, F f) {
+  Buffer<double> buf(static_cast<std::size_t>(nx + 2 * h) * (ny + 2 * h));
+  auto s = buf.view2d(nx + 2 * h, ny + 2 * h);
+  for (int y = h; y < h + ny; ++y) {
+    for (int x = h; x < h + nx; ++x) s(x, y) = f(x, y);
+  }
+  return buf;
+}
+}  // namespace
+
+TEST(Halo, ReflectMirrorsInteriorRows) {
+  const int nx = 6, ny = 5, h = 2;
+  auto buf = make_field(nx, ny, h, [](int x, int y) {
+    return 100.0 * x + y;
+  });
+  auto s = buf.view2d(nx + 2 * h, ny + 2 * h);
+  c::reflect_boundary(s, h, c::kAllFaces);
+  for (int y = h; y < h + ny; ++y) {
+    for (int k = 0; k < h; ++k) {
+      EXPECT_EQ(s(h - 1 - k, y), s(h + k, y));
+      EXPECT_EQ(s(h + nx + k, y), s(h + nx - 1 - k, y));
+    }
+  }
+  for (int x = 0; x < nx + 2 * h; ++x) {
+    for (int k = 0; k < h; ++k) {
+      EXPECT_EQ(s(x, h - 1 - k), s(x, h + k));
+      EXPECT_EQ(s(x, h + ny + k), s(x, h + ny - 1 - k));
+    }
+  }
+}
+
+TEST(Halo, ReflectFillsCorners) {
+  const int nx = 4, ny = 4, h = 2;
+  auto buf = make_field(nx, ny, h, [](int x, int y) {
+    return 10.0 * x + y;
+  });
+  auto s = buf.view2d(nx + 2 * h, ny + 2 * h);
+  c::reflect_boundary(s, h, c::kAllFaces);
+  // Corner (0,0) mirrors interior (h+1, h+1) through both reflections.
+  EXPECT_EQ(s(0, 0), s(h + 1, h + 1));
+  EXPECT_EQ(s(1, 1), s(h, h));
+}
+
+TEST(Halo, ReflectTooSmallFieldThrows) {
+  Buffer<double> buf(16);
+  auto s = buf.view2d(4, 4);  // h=2 leaves no interior
+  EXPECT_THROW(c::reflect_boundary(s, 2, c::kAllFaces), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Halo: exchange across ranks == global reflection
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Reference: one global field, reflected. Decomposed: each rank owns a tile
+/// of the same field, exchanges + reflects, and we compare every tile cell
+/// (including its halo) to the global field.
+void check_distributed_halo(int gnx, int gny, int ranks, int h, int depth) {
+  auto global = make_field(gnx, gny, h, [](int x, int y) {
+    return std::sin(0.3 * x) + 1.7 * y;
+  });
+  auto gspan = global.view2d(gnx + 2 * h, gny + 2 * h);
+  c::reflect_boundary(gspan, h, c::kAllFaces);
+
+  const c::BlockDecomposition decomp(gnx, gny, ranks);
+  c::run_ranks(ranks, [&](c::Communicator& comm) {
+    const c::Tile& tile = decomp.tile(comm.rank());
+    const int w = tile.nx() + 2 * h;
+    const int ht = tile.ny() + 2 * h;
+    Buffer<double> local(static_cast<std::size_t>(w) * ht);
+    auto lspan = local.view2d(w, ht);
+    for (int y = 0; y < ht; ++y) {
+      for (int x = 0; x < w; ++x) {
+        // Interior copy only; halo starts stale.
+        const int gx = tile.x_begin + (x - h) + h;
+        const int gy = tile.y_begin + (y - h) + h;
+        if (x >= h && x < h + tile.nx() && y >= h && y < h + tile.ny()) {
+          lspan(x, y) = gspan(gx, gy);
+        } else {
+          lspan(x, y) = -999.0;
+        }
+      }
+    }
+    c::HaloExchanger ex(decomp, comm.rank(), h);
+    ex.exchange(comm, lspan, depth, /*tag=*/3);
+
+    for (int y = h - depth; y < h + tile.ny() + depth; ++y) {
+      for (int x = h - depth; x < h + tile.nx() + depth; ++x) {
+        const int gx = tile.x_begin + (x - h) + h;
+        const int gy = tile.y_begin + (y - h) + h;
+        ASSERT_DOUBLE_EQ(lspan(x, y), gspan(gx, gy))
+            << "rank " << comm.rank() << " cell (" << x << "," << y << ")";
+      }
+    }
+  });
+}
+}  // namespace
+
+TEST(Halo, TwoRankExchangeMatchesGlobal) {
+  check_distributed_halo(16, 12, 2, 2, 2);
+}
+
+TEST(Halo, FourRankExchangeMatchesGlobal) {
+  check_distributed_halo(16, 16, 4, 2, 2);
+}
+
+TEST(Halo, SixRankDepthOne) { check_distributed_halo(18, 12, 6, 2, 1); }
+
+TEST(Halo, BadDepthThrows) {
+  const c::BlockDecomposition decomp(8, 8, 1);
+  c::run_ranks(1, [&](c::Communicator& comm) {
+    Buffer<double> local(12 * 12);
+    auto s = local.view2d(12, 12);
+    c::HaloExchanger ex(decomp, 0, 2);
+    EXPECT_THROW(ex.exchange(comm, s, 3, 0), std::invalid_argument);
+    EXPECT_THROW(ex.exchange(comm, s, 0, 0), std::invalid_argument);
+  });
+}

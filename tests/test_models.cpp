@@ -1,0 +1,466 @@
+// Unit tests for src/models: the programming-model API layers and the host
+// execution pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "models/culike/cuda.hpp"
+#include "models/host_pool.hpp"
+#include "models/kokkoslike/kokkos.hpp"
+#include "models/launcher.hpp"
+#include "models/ocllike/opencl.hpp"
+#include "models/offload/offload.hpp"
+#include "models/omp3/omp3.hpp"
+#include "models/rajalike/raja.hpp"
+
+namespace s = tl::sim;
+
+namespace {
+s::LaunchInfo tiny_launch(std::size_t items = 64) {
+  s::LaunchInfo info;
+  info.items = items;
+  info.bytes_read = items * 8;
+  info.bytes_written = items * 8;
+  info.working_set_bytes = items * 16;
+  return info;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HostPool
+// ---------------------------------------------------------------------------
+
+TEST(HostPool, CoversRangeExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 7u}) {
+    models::HostPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, 1000, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(HostPool, EmptyRangeIsNoop) {
+  models::HostPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(HostPool, ReduceSumDeterministicAcrossThreadCounts) {
+  std::vector<double> data(10'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<double>(i));
+  }
+  auto reduce_with = [&](unsigned threads) {
+    models::HostPool pool(threads);
+    return pool.parallel_reduce_sum(
+        0, static_cast<std::int64_t>(data.size()),
+        [&](std::int64_t b, std::int64_t e) {
+          double acc = 0.0;
+          for (std::int64_t i = b; i < e; ++i) acc += data[i];
+          return acc;
+        });
+  };
+  const double serial = reduce_with(1);
+  // Chunk-ordered combination: identical result run-to-run per thread count.
+  EXPECT_DOUBLE_EQ(reduce_with(4), reduce_with(4));
+  EXPECT_NEAR(reduce_with(4), serial, 1e-9);
+  EXPECT_NEAR(reduce_with(8), serial, 1e-9);
+}
+
+TEST(HostPool, SmallRangeRunsInline) {
+  models::HostPool pool(8);
+  const double sum = pool.parallel_reduce_sum(
+      0, 3, [](std::int64_t b, std::int64_t e) {
+        double acc = 0.0;
+        for (std::int64_t i = b; i < e; ++i) acc += static_cast<double>(i);
+        return acc;
+      });
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Launcher
+// ---------------------------------------------------------------------------
+
+TEST(Launcher, MetersLaunchesAndTransfers) {
+  models::Launcher l(s::Model::kCuda, s::DeviceId::kGpuK20X, 1);
+  int runs = 0;
+  l.run(tiny_launch(), [&] { ++runs; });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(l.clock().launches(), 1u);
+  EXPECT_GT(l.clock().elapsed_ns(), 0.0);
+  l.charge_transfer({.name = "t", .bytes = 1024, .to_device = true});
+  EXPECT_EQ(l.clock().transfers(), 1u);
+  const double before = l.clock().elapsed_ns();
+  l.begin_run(2);
+  EXPECT_EQ(l.clock().elapsed_ns(), 0.0);
+  EXPECT_GT(before, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// omp3 layer
+// ---------------------------------------------------------------------------
+
+TEST(Omp3Layer, ParallelForAndReduce) {
+  omp3::Runtime rt(s::Model::kOmp3Cpp, s::DeviceId::kCpuSandyBridge, 1, 2);
+  std::vector<double> v(100, 0.0);
+  rt.parallel_for(tiny_launch(), 0, 100,
+                  [&](std::int64_t i) { v[static_cast<std::size_t>(i)] = 2.0; });
+  const double sum = rt.parallel_reduce(
+      tiny_launch(), 0, 100,
+      [&](std::int64_t i, double& acc) { acc += v[static_cast<std::size_t>(i)]; });
+  EXPECT_DOUBLE_EQ(sum, 200.0);
+  EXPECT_EQ(rt.launcher().clock().launches(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Kokkos-like layer
+// ---------------------------------------------------------------------------
+
+TEST(KokkosLike, ViewSharedOwnership) {
+  kokkoslike::View a("a", 4, 4);
+  kokkoslike::View b = a;  // std::shared_ptr-style copy semantics
+  a(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(b(1, 1), 7.0);
+  EXPECT_EQ(b.label(), "a");
+  EXPECT_EQ(b.size(), 16u);
+}
+
+TEST(KokkosLike, ParallelForWritesEveryIndex) {
+  kokkoslike::Context ctx(s::Model::kKokkos, s::DeviceId::kCpuSandyBridge);
+  kokkoslike::View v("v", 8, 8);
+  ctx.parallel_for(tiny_launch(), {0, 64},
+                   [=](std::int64_t i) { v[static_cast<std::size_t>(i)] = 1.0; });
+  double sum = 0.0;
+  ctx.parallel_reduce(tiny_launch(), {0, 64},
+                      [=](std::int64_t i, double& acc) {
+                        acc += v[static_cast<std::size_t>(i)];
+                      },
+                      sum);
+  EXPECT_DOUBLE_EQ(sum, 64.0);
+}
+
+TEST(KokkosLike, CustomJoinReduction) {
+  struct MinMax {
+    double min = 1e300, max = -1e300;
+  };
+  struct Functor {
+    void init(MinMax& v) const { v = MinMax{}; }
+    void join(MinMax& dst, const MinMax& src) const {
+      dst.min = std::min(dst.min, src.min);
+      dst.max = std::max(dst.max, src.max);
+    }
+    void operator()(std::int64_t i, MinMax& v) const {
+      const double x = static_cast<double>((i * 7) % 13);
+      v.min = std::min(v.min, x);
+      v.max = std::max(v.max, x);
+    }
+  };
+  kokkoslike::Context ctx(s::Model::kKokkos, s::DeviceId::kCpuSandyBridge);
+  MinMax result;
+  result.min = 1e300;
+  result.max = -1e300;
+  ctx.parallel_reduce(tiny_launch(), {0, 100}, Functor{}, result);
+  EXPECT_DOUBLE_EQ(result.min, 0.0);
+  EXPECT_DOUBLE_EQ(result.max, 12.0);
+}
+
+TEST(KokkosLike, TeamPolicyCoversLeagueAndReduces) {
+  kokkoslike::Context ctx(s::Model::kKokkosHp, s::DeviceId::kCpuSandyBridge);
+  std::vector<int> rows(10, 0);
+  ctx.parallel_for_team(tiny_launch(), {10, 4},
+                        [&](const kokkoslike::TeamMember& t) {
+                          kokkoslike::team_thread_range(t, 3, [&](int) {
+                            ++rows[static_cast<std::size_t>(t.league_rank())];
+                          });
+                        });
+  for (const int r : rows) EXPECT_EQ(r, 3);
+
+  double total = 0.0;
+  ctx.parallel_reduce_team(tiny_launch(), {10, 4},
+                           [&](const kokkoslike::TeamMember& t, double& acc) {
+                             kokkoslike::team_thread_range(
+                                 t, 5, [&](int i) { acc += i; });
+                           },
+                           total);
+  EXPECT_DOUBLE_EQ(total, 100.0);  // 10 teams x (0+1+2+3+4)
+}
+
+TEST(KokkosLike, DeepCopyChargesOnlyOnOffloadDevices) {
+  kokkoslike::View v("v", 32, 32);
+  kokkoslike::Context host(s::Model::kKokkos, s::DeviceId::kCpuSandyBridge);
+  host.deep_copy_to_device(v);
+  EXPECT_DOUBLE_EQ(host.launcher().clock().elapsed_ns(), 0.0);
+  kokkoslike::Context gpu(s::Model::kKokkos, s::DeviceId::kGpuK20X);
+  gpu.deep_copy_to_device(v);
+  EXPECT_GT(gpu.launcher().clock().elapsed_ns(), 0.0);
+  EXPECT_EQ(gpu.launcher().clock().transfer_bytes(), v.size_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// RAJA-like layer
+// ---------------------------------------------------------------------------
+
+TEST(RajaLike, InteriorIndexSetMatchesRangeSet) {
+  const auto list = rajalike::make_interior_index_set(7, 5, 2);
+  const auto range = rajalike::make_interior_range_set(7, 5, 2);
+  EXPECT_TRUE(list.has_indirection());
+  EXPECT_FALSE(range.has_indirection());
+  EXPECT_EQ(list.total_length(), 35);
+  EXPECT_EQ(list.total_length(), range.total_length());
+
+  rajalike::Context ctx(s::Model::kRaja, s::DeviceId::kCpuSandyBridge);
+  std::vector<int> a(11 * 9, 0), b(11 * 9, 0);
+  ctx.forall<rajalike::seq_exec>(tiny_launch(), list, [&](std::int64_t i) {
+    ++a[static_cast<std::size_t>(i)];
+  });
+  ctx.forall<rajalike::seq_exec>(tiny_launch(), range, [&](std::int64_t i) {
+    ++b[static_cast<std::size_t>(i)];
+  });
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 35);
+}
+
+TEST(RajaLike, PadExcludesBoundaryCells) {
+  const auto padded = rajalike::make_interior_index_set(6, 6, 2, 1);
+  EXPECT_EQ(padded.total_length(), 16);  // (6-2)^2
+}
+
+TEST(RajaLike, ReduceSumThroughLambda) {
+  rajalike::Context ctx(s::Model::kRaja, s::DeviceId::kCpuSandyBridge);
+  rajalike::ReduceSum sum;
+  ctx.forall<rajalike::omp_parallel_for_exec>(
+      tiny_launch(), rajalike::RangeSegment{0, 100},
+      [&](std::int64_t i) { sum += static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(sum.get(), 4950.0);
+}
+
+TEST(RajaLike, BadGeometryThrows) {
+  EXPECT_THROW(rajalike::make_interior_index_set(0, 4, 2),
+               std::invalid_argument);
+  EXPECT_THROW(rajalike::make_interior_index_set(4, 4, 2, 2),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Offload layer
+// ---------------------------------------------------------------------------
+
+TEST(Offload, DataScopeChargesMapsByDirection) {
+  offload::Runtime rt(s::Model::kOmp4, s::DeviceId::kMicKnc);
+  std::vector<double> a(1024, 1.0), b(1024, 2.0);
+  {
+    offload::DataScope scope(
+        rt, {offload::map(std::span<double>(a), offload::MapDir::kTo),
+             offload::map(std::span<double>(b), offload::MapDir::kAlloc)});
+    EXPECT_TRUE(rt.is_present(a.data()));
+    EXPECT_TRUE(rt.is_present(b.data()));
+    // One `to` copy so far.
+    EXPECT_EQ(rt.launcher().clock().transfers(), 1u);
+  }
+  // alloc and to don't copy back on exit.
+  EXPECT_EQ(rt.launcher().clock().transfers(), 1u);
+  EXPECT_FALSE(rt.is_present(a.data()));
+}
+
+TEST(Offload, FromDirectionCopiesBackOnExit) {
+  offload::Runtime rt(s::Model::kOmp4, s::DeviceId::kMicKnc);
+  std::vector<double> a(64, 0.0);
+  {
+    offload::DataScope scope(
+        rt, {offload::map(std::span<double>(a), offload::MapDir::kToFrom)});
+    EXPECT_EQ(rt.launcher().clock().transfers(), 1u);
+  }
+  EXPECT_EQ(rt.launcher().clock().transfers(), 2u);
+}
+
+TEST(Offload, NestedScopesRefCount) {
+  offload::Runtime rt(s::Model::kOmp4, s::DeviceId::kMicKnc);
+  std::vector<double> a(64, 0.0);
+  const auto spec = offload::map(std::span<double>(a), offload::MapDir::kTo);
+  {
+    offload::DataScope outer(rt, {spec});
+    {
+      offload::DataScope inner(rt, {spec});
+      EXPECT_EQ(rt.launcher().clock().transfers(), 1u);  // mapped once
+    }
+    EXPECT_TRUE(rt.is_present(a.data()));
+  }
+  EXPECT_FALSE(rt.is_present(a.data()));
+}
+
+TEST(Offload, UpdateWithoutMapThrows) {
+  offload::Runtime rt(s::Model::kOmp4, s::DeviceId::kMicKnc);
+  std::vector<double> a(8, 0.0);
+  EXPECT_THROW(rt.update_from(a.data(), 64), std::logic_error);
+}
+
+TEST(Offload, HostTargetsSkipMapping) {
+  offload::Runtime rt(s::Model::kOmp4, s::DeviceId::kCpuSandyBridge);
+  std::vector<double> a(8, 0.0);
+  offload::DataScope scope(
+      rt, {offload::map(std::span<double>(a), offload::MapDir::kToFrom)});
+  EXPECT_EQ(rt.launcher().clock().transfers(), 0u);
+  EXPECT_NO_THROW(rt.update_from(a.data(), 64));
+}
+
+TEST(Offload, TargetRegionRunsBodyAndCharges) {
+  offload::Runtime rt(s::Model::kOmp4, s::DeviceId::kMicKnc);
+  double x = 0.0;
+  const double sum = omp4::target_parallel_reduce(
+      rt, tiny_launch(), 0, 10,
+      [&](std::int64_t i, double& acc) { acc += static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(sum, 45.0);
+  omp4::target_parallel_for(rt, tiny_launch(), 0, 4,
+                            [&](std::int64_t) { x += 1.0; });
+  EXPECT_DOUBLE_EQ(x, 4.0);
+  EXPECT_EQ(rt.launcher().clock().launches(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// OpenCL-like layer
+// ---------------------------------------------------------------------------
+
+TEST(OclLike, PlatformListsCatalogue) {
+  const auto devices = ocllike::get_platform_devices();
+  EXPECT_EQ(devices.size(), s::kAllDevices.size());
+}
+
+TEST(OclLike, BufferReadWriteRoundTrip) {
+  ocllike::Context ctx(s::Model::kOpenCl, s::DeviceId::kGpuK20X);
+  ocllike::CommandQueue queue(ctx);
+  ocllike::Buffer buf(ctx, 128);
+  std::vector<double> in(128), out(128, 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<double>(i);
+  queue.enqueue_write(buf, in);
+  queue.enqueue_read(buf, out);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(ctx.launcher().clock().transfers(), 2u);
+}
+
+TEST(OclLike, NDRangeKernelSeesCorrectGeometry) {
+  ocllike::Context ctx(s::Model::kOpenCl, s::DeviceId::kCpuSandyBridge);
+  ocllike::CommandQueue queue(ctx);
+  ocllike::Buffer out(ctx, 64);
+  auto program = ocllike::Program::build(
+      ctx, {{"ids", [](const ocllike::NDItem& item,
+                       const std::vector<ocllike::KernelArg>& args) {
+               ocllike::Buffer& o = *std::get<ocllike::Buffer*>(args[0]);
+               o[item.global_id] =
+                   static_cast<double>(item.group_id * 1000 + item.local_id);
+             }}});
+  ocllike::Kernel k(program, "ids");
+  k.set_arg(0, &out);
+  queue.enqueue_nd_range(k, tiny_launch(), 64, 16);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[17], 1001.0);
+  EXPECT_DOUBLE_EQ(out[63], 3015.0);
+}
+
+TEST(OclLike, WorkGroupLocalMemoryIsolatedPerGroup) {
+  ocllike::Context ctx(s::Model::kOpenCl, s::DeviceId::kCpuSandyBridge);
+  ocllike::CommandQueue queue(ctx);
+  ocllike::Buffer partials(ctx, 4);
+  auto program = ocllike::Program::build(
+      ctx, {{"reduce", [](const ocllike::NDItem& item,
+                          const std::vector<ocllike::KernelArg>& args) {
+               ocllike::Buffer& p = *std::get<ocllike::Buffer*>(args[0]);
+               item.local_mem[item.local_id] =
+                   static_cast<double>(item.global_id);
+               if (item.local_id + 1 == item.local_size) {
+                 double sum = 0.0;
+                 for (std::size_t l = 0; l < item.local_size; ++l) {
+                   sum += item.local_mem[l];
+                 }
+                 p[item.group_id] = sum;
+               }
+             }}});
+  ocllike::Kernel k(program, "reduce");
+  k.set_arg(0, &partials);
+  queue.enqueue_nd_range(k, tiny_launch(), 32, 8);
+  EXPECT_DOUBLE_EQ(partials[0], 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_DOUBLE_EQ(partials[3], 24 + 25 + 26 + 27 + 28 + 29 + 30 + 31);
+}
+
+TEST(OclLike, ErrorsThrow) {
+  ocllike::Context ctx(s::Model::kOpenCl, s::DeviceId::kCpuSandyBridge);
+  ocllike::CommandQueue queue(ctx);
+  auto program = ocllike::Program::build(ctx, {});
+  EXPECT_THROW(ocllike::Kernel(program, "missing"), std::invalid_argument);
+  ocllike::Buffer buf(ctx, 8);
+  std::vector<double> wrong(9);
+  EXPECT_THROW(queue.enqueue_write(buf, wrong), std::invalid_argument);
+}
+
+TEST(OclLike, GlobalMustBeMultipleOfLocal) {
+  ocllike::Context ctx(s::Model::kOpenCl, s::DeviceId::kCpuSandyBridge);
+  ocllike::CommandQueue queue(ctx);
+  auto program = ocllike::Program::build(
+      ctx,
+      {{"nop", [](const ocllike::NDItem&,
+                  const std::vector<ocllike::KernelArg>&) {}}});
+  ocllike::Kernel k(program, "nop");
+  EXPECT_THROW(queue.enqueue_nd_range(k, tiny_launch(), 60, 16),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CUDA-like layer
+// ---------------------------------------------------------------------------
+
+TEST(CuLike, LaunchGeometryAndOverspillGuard) {
+  culike::Runtime rt(s::Model::kCuda, s::DeviceId::kGpuK20X);
+  culike::DeviceBuffer out(100);
+  const unsigned blocks = culike::Runtime::blocks_for(100, 32);
+  EXPECT_EQ(blocks, 4u);
+  rt.launch(tiny_launch(), culike::Dim3(blocks), culike::Dim3(32), 0,
+            [&](const culike::ThreadCtx& ctx) {
+              const std::size_t i = ctx.global_thread();
+              if (i >= 100) return;
+              out[i] = static_cast<double>(ctx.block_idx);
+            });
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[33], 1.0);
+  EXPECT_DOUBLE_EQ(out[99], 3.0);
+}
+
+TEST(CuLike, SharedMemoryBlockReduction) {
+  culike::Runtime rt(s::Model::kCuda, s::DeviceId::kGpuK20X);
+  culike::DeviceBuffer partials(4);
+  rt.launch(tiny_launch(), culike::Dim3(4), culike::Dim3(8), 8,
+            [&](const culike::ThreadCtx& ctx) {
+              ctx.shared[ctx.thread_idx] =
+                  static_cast<double>(ctx.global_thread());
+              if (ctx.is_last_in_block()) {
+                double sum = 0.0;
+                for (unsigned t = 0; t < ctx.block_dim; ++t) {
+                  sum += ctx.shared[t];
+                }
+                partials[ctx.block_idx] = sum;
+              }
+            });
+  EXPECT_DOUBLE_EQ(partials[0], 28.0);   // 0..7
+  EXPECT_DOUBLE_EQ(partials[3], 220.0);  // 24..31
+}
+
+TEST(CuLike, MemcpyRoundTripAndErrors) {
+  culike::Runtime rt(s::Model::kCuda, s::DeviceId::kGpuK20X);
+  culike::DeviceBuffer buf(16);
+  std::vector<double> in(16, 3.0), out(16, 0.0);
+  rt.memcpy_htod(buf, in);
+  rt.memcpy_dtoh(out, buf);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(rt.launcher().clock().transfers(), 2u);
+  std::vector<double> wrong(8);
+  EXPECT_THROW(rt.memcpy_htod(buf, wrong), std::invalid_argument);
+  EXPECT_THROW(rt.launch(tiny_launch(), culike::Dim3(0), culike::Dim3(8), 0,
+                         [](const culike::ThreadCtx&) {}),
+               std::invalid_argument);
+}

@@ -1,0 +1,326 @@
+// Property-based sweeps: randomised/parameterised invariants across the
+// decomposition, halo, eigenvalue, and performance-model subsystems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "comm/decomposition.hpp"
+#include "comm/halo.hpp"
+#include "core/eigen.hpp"
+#include "core/kernel_catalog.hpp"
+#include "core/model_traits.hpp"
+#include "ports/registry.hpp"
+#include "sim/perf_model.hpp"
+#include "util/buffer.hpp"
+#include "util/rng.hpp"
+
+using namespace tl;
+
+// ---------------------------------------------------------------------------
+// Decomposition properties over many shapes
+// ---------------------------------------------------------------------------
+
+class DecompositionSweep
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompositionSweep,
+    testing::Values(std::tuple{16, 16, 2}, std::tuple{16, 16, 3},
+                    std::tuple{100, 40, 5}, std::tuple{40, 100, 5},
+                    std::tuple{63, 17, 7}, std::tuple{128, 128, 16},
+                    std::tuple{9, 9, 9}, std::tuple{33, 65, 12},
+                    std::tuple{1024, 8, 8}, std::tuple{8, 1024, 8}));
+
+TEST_P(DecompositionSweep, PartitionIsExactAndBalanced) {
+  const auto [nx, ny, ranks] = GetParam();
+  const comm::BlockDecomposition d(nx, ny, ranks);
+
+  // Exact cover.
+  long long covered = 0;
+  int min_cells = INT32_MAX, max_cells = 0;
+  for (const auto& t : d.tiles()) {
+    EXPECT_GT(t.nx(), 0);
+    EXPECT_GT(t.ny(), 0);
+    covered += static_cast<long long>(t.nx()) * t.ny();
+    min_cells = std::min(min_cells, t.nx() * t.ny());
+    max_cells = std::max(max_cells, t.nx() * t.ny());
+  }
+  EXPECT_EQ(covered, static_cast<long long>(nx) * ny);
+
+  // Balance: largest tile within one row+column of the smallest.
+  const auto& t0 = d.tile(0);
+  EXPECT_LE(max_cells - min_cells, t0.nx() + t0.ny() + 1);
+
+  // Mutual neighbours, consistent edges.
+  for (const auto& t : d.tiles()) {
+    for (const auto f : comm::kAllFaces) {
+      if (!t.has_neighbour(f)) continue;
+      const auto& n = d.tile(t.neighbour_of(f));
+      switch (f) {
+        case comm::Face::kLeft:
+          EXPECT_EQ(n.x_end, t.x_begin);
+          EXPECT_EQ(n.neighbour_of(comm::Face::kRight), t.rank);
+          break;
+        case comm::Face::kRight:
+          EXPECT_EQ(n.x_begin, t.x_end);
+          EXPECT_EQ(n.neighbour_of(comm::Face::kLeft), t.rank);
+          break;
+        case comm::Face::kBottom:
+          EXPECT_EQ(n.y_end, t.y_begin);
+          EXPECT_EQ(n.neighbour_of(comm::Face::kTop), t.rank);
+          break;
+        case comm::Face::kTop:
+          EXPECT_EQ(n.y_begin, t.y_end);
+          EXPECT_EQ(n.neighbour_of(comm::Face::kBottom), t.rank);
+          break;
+      }
+      // Shared extent matches in the orthogonal dimension.
+      if (f == comm::Face::kLeft || f == comm::Face::kRight) {
+        EXPECT_EQ(n.y_begin, t.y_begin);
+        EXPECT_EQ(n.y_end, t.y_end);
+      } else {
+        EXPECT_EQ(n.x_begin, t.x_begin);
+        EXPECT_EQ(n.x_end, t.x_end);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Halo reflection properties over geometries
+// ---------------------------------------------------------------------------
+
+class ReflectSweep : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ReflectSweep,
+                         testing::Values(std::tuple{5, 5, 1},
+                                         std::tuple{5, 5, 2},
+                                         std::tuple{3, 9, 2},
+                                         std::tuple{9, 3, 2},
+                                         std::tuple{17, 11, 3},
+                                         std::tuple{64, 64, 2}));
+
+TEST_P(ReflectSweep, ReflectionIsIdempotentAndPreservesInterior) {
+  const auto [nx, ny, h] = GetParam();
+  const int w = nx + 2 * h, ht = ny + 2 * h;
+  util::Buffer<double> buf(static_cast<std::size_t>(w) * ht);
+  util::Rng rng(static_cast<std::uint64_t>(nx * 1000 + ny * 10 + h));
+  auto s = buf.view2d(w, ht);
+  std::vector<double> interior;
+  for (int y = h; y < h + ny; ++y) {
+    for (int x = h; x < h + nx; ++x) {
+      s(x, y) = rng.next_normal();
+      interior.push_back(s(x, y));
+    }
+  }
+
+  comm::reflect_boundary(s, h, comm::kAllFaces);
+  util::Buffer<double> once = buf;
+  comm::reflect_boundary(s, h, comm::kAllFaces);
+
+  // Idempotent: reflecting twice changes nothing.
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], once[i]);
+
+  // Interior untouched.
+  std::size_t idx = 0;
+  for (int y = h; y < h + ny; ++y) {
+    for (int x = h; x < h + nx; ++x) EXPECT_EQ(s(x, y), interior[idx++]);
+  }
+
+  // Reflective boundary means zero normal flux: the halo layer adjacent to
+  // each face equals the first interior layer.
+  for (int y = h; y < h + ny; ++y) {
+    EXPECT_EQ(s(h - 1, y), s(h, y));
+    EXPECT_EQ(s(h + nx, y), s(h + nx - 1, y));
+  }
+  for (int x = h; x < h + nx; ++x) {
+    EXPECT_EQ(s(x, h - 1), s(x, h));
+    EXPECT_EQ(s(x, h + ny), s(x, h + ny - 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eigen machinery on randomised SPD tridiagonals
+// ---------------------------------------------------------------------------
+
+class EigenSweep : public testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenSweep, testing::Range(1, 11));
+
+TEST_P(EigenSweep, ExtremalEigenvaluesRespectSturmAndGershgorin) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 5 + rng.next_below(20);
+  core::Tridiagonal t;
+  t.diag.resize(n);
+  t.off.resize(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    t.diag[k] = 2.0 + 3.0 * rng.next_double();
+    if (k > 0) t.off[k] = rng.next_double();
+  }
+
+  const auto e = core::extremal_eigenvalues(t);
+  ASSERT_TRUE(e.valid);
+  EXPECT_LE(e.min, e.max);
+
+  // No eigenvalue below min, all below max (within bisection tolerance).
+  EXPECT_EQ(core::sturm_count(t, e.min - 1e-6), 0);
+  EXPECT_EQ(core::sturm_count(t, e.max + 1e-6), static_cast<int>(n));
+
+  // Gershgorin bounds contain both.
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double l = (k == 0) ? 0.0 : std::abs(t.off[k]);
+    const double r = (k + 1 == n) ? 0.0 : std::abs(t.off[k + 1]);
+    lo = std::min(lo, t.diag[k] - l - r);
+    hi = std::max(hi, t.diag[k] + l + r);
+  }
+  EXPECT_GE(e.min, lo - 1e-9);
+  EXPECT_LE(e.max, hi + 1e-9);
+}
+
+TEST_P(EigenSweep, ChebyCoefficientsConvergeToFixedPoint) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  const double mn = 0.5 + rng.next_double();
+  const double mx = mn * (2.0 + 50.0 * rng.next_double());
+  const auto c = core::cheby_coefficients(mn, mx, 200);
+  // alphas/betas are positive and converge (the rho recurrence contracts).
+  for (std::size_t k = 0; k < c.alphas.size(); ++k) {
+    EXPECT_GT(c.alphas[k], 0.0);
+    EXPECT_GT(c.betas[k], 0.0);
+  }
+  const double tail = std::abs(c.alphas[199] - c.alphas[198]);
+  const double head = std::abs(c.alphas[1] - c.alphas[0]) + 1e-30;
+  EXPECT_LT(tail, head + 1e-12);
+  // The fixed point of rho is the classic root expression.
+  const double sigma = c.sigma;
+  const double rho_fp = sigma - std::sqrt(sigma * sigma - 1.0);
+  EXPECT_NEAR(c.alphas[199], rho_fp * rho_fp, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Performance-model properties across every supported (model, device)
+// ---------------------------------------------------------------------------
+
+namespace {
+struct Pair {
+  sim::Model model;
+  sim::DeviceId device;
+};
+std::vector<Pair> supported_pairs() {
+  std::vector<Pair> out;
+  for (const auto m : sim::kAllModels) {
+    for (const auto d : sim::kAllDevices) {
+      if (ports::is_supported(m, d)) out.push_back({m, d});
+    }
+  }
+  return out;
+}
+std::string pair_name(const testing::TestParamInfo<Pair>& info) {
+  std::string name = std::string(sim::model_id(info.param.model)) + "_" +
+                     std::string(sim::device_short_name(info.param.device));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+}  // namespace
+
+class PerfModelSweep : public testing::TestWithParam<Pair> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSupported, PerfModelSweep,
+                         testing::ValuesIn(supported_pairs()), pair_name);
+
+TEST_P(PerfModelSweep, TimeMonotoneInBytes) {
+  sim::PerfModel pm(GetParam().model, GetParam().device);
+  double last = 0.0;
+  for (const std::size_t cells : {1u << 10, 1u << 14, 1u << 18, 1u << 22}) {
+    const auto info =
+        core::make_launch_info(GetParam().model, core::KernelId::kCgCalcW,
+                               cells);
+    const double ns = pm.launch_ns(info);
+    EXPECT_GT(ns, last);
+    last = ns;
+  }
+}
+
+TEST_P(PerfModelSweep, OverheadDominatesSmallLaunches) {
+  sim::PerfModel pm(GetParam().model, GetParam().device);
+  const auto tiny =
+      core::make_launch_info(GetParam().model, core::KernelId::kCgCalcP, 16);
+  // A 16-cell launch is essentially pure overhead.
+  EXPECT_LT(pm.launch_ns(tiny), 2.5 * pm.profile().launch_overhead_ns +
+                                    pm.profile().reduction_overhead_ns + 1e4);
+  EXPECT_GE(pm.launch_ns(tiny), pm.profile().launch_overhead_ns * 0.9);
+}
+
+TEST_P(PerfModelSweep, ReductionNeverCheaperThanStreaming) {
+  sim::PerfModel pm(GetParam().model, GetParam().device);
+  auto info =
+      core::make_launch_info(GetParam().model, core::KernelId::kCgCalcW,
+                             1u << 20);
+  auto plain = info;
+  plain.traits.reduction = false;
+  EXPECT_GE(pm.launch_ns(info), pm.launch_ns(plain));
+}
+
+TEST_P(PerfModelSweep, EveryKernelHasPositiveFiniteCost) {
+  sim::PerfModel pm(GetParam().model, GetParam().device);
+  for (int k = 0; k <= static_cast<int>(core::KernelId::kHaloUpdate); ++k) {
+    const auto info = core::make_launch_info(
+        GetParam().model, static_cast<core::KernelId>(k), 1u << 16);
+    const double ns = pm.launch_ns(info);
+    EXPECT_GT(ns, 0.0);
+    EXPECT_TRUE(std::isfinite(ns));
+  }
+}
+
+TEST_P(PerfModelSweep, EffectiveBandwidthNeverExceedsBoostedCeiling) {
+  sim::PerfModel pm(GetParam().model, GetParam().device);
+  const auto& dev = pm.device();
+  for (const std::size_t ws : {1u << 12, 1u << 20, 1u << 26, 1u << 30}) {
+    const auto info = core::make_launch_info(
+        GetParam().model, core::KernelId::kCgCalcW, 1u << 16);
+    const double bw = pm.effective_bandwidth_gbs(info.traits, ws);
+    EXPECT_GT(bw, 0.0);
+    EXPECT_LE(bw, dev.stream_bw_gbs * dev.cache_bw_boost + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel catalogue properties
+// ---------------------------------------------------------------------------
+
+TEST(CatalogProperties, AllKernelsHaveStreamsAndNames) {
+  for (int k = 0; k <= static_cast<int>(core::KernelId::kHaloUpdate); ++k) {
+    const auto& cost = core::kernel_cost(static_cast<core::KernelId>(k));
+    EXPECT_FALSE(cost.name.empty());
+    EXPECT_GT(cost.reads + cost.writes, 0);
+    EXPECT_GE(cost.vector_sensitivity, 0.0);
+    EXPECT_LE(cost.vector_sensitivity, 1.0);
+  }
+}
+
+TEST(CatalogProperties, CgIterationMovesThirteenStreams) {
+  // The CG iteration's traffic (w + ur + p kernels) is 13 field streams —
+  // the figure the bandwidth analysis in EXPERIMENTS.md relies on.
+  int streams = 0;
+  for (const auto id : {core::KernelId::kCgCalcW, core::KernelId::kCgCalcUr,
+                        core::KernelId::kCgCalcP}) {
+    const auto& c = core::kernel_cost(id);
+    streams += c.reads + c.writes;
+  }
+  EXPECT_EQ(streams, 13);
+}
+
+TEST(CatalogProperties, LaunchInfoScalesLinearly) {
+  for (const auto m : {sim::Model::kFortran, sim::Model::kKokkos}) {
+    const auto small = core::make_launch_info(m, core::KernelId::kCgInit, 100);
+    const auto large = core::make_launch_info(m, core::KernelId::kCgInit, 1000);
+    EXPECT_EQ(10 * small.bytes_read, large.bytes_read);
+    EXPECT_EQ(10 * small.bytes_written, large.bytes_written);
+    EXPECT_EQ(10 * small.flops, large.flops);
+  }
+}

@@ -1,0 +1,353 @@
+// Unit tests for src/util: containers, RNG, statistics, parsing, writers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/buffer.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/ini.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/span2d.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace u = tl::util;
+
+// ---------------------------------------------------------------------------
+// Span2D / Buffer
+// ---------------------------------------------------------------------------
+
+TEST(Span2D, RowMajorLayoutXIsFast) {
+  double data[6] = {0, 1, 2, 3, 4, 5};
+  u::Span2D<double> s(data, 3, 2);
+  EXPECT_EQ(s(0, 0), 0.0);
+  EXPECT_EQ(s(2, 0), 2.0);
+  EXPECT_EQ(s(0, 1), 3.0);
+  EXPECT_EQ(s(2, 1), 5.0);
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(Span2D, FlatAccessMatchesCoordinates) {
+  double data[12];
+  u::Span2D<double> s(data, 4, 3);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<double>(i);
+  EXPECT_EQ(s(1, 2), 9.0);
+}
+
+TEST(Span2D, ConstConversion) {
+  double data[4] = {1, 2, 3, 4};
+  u::Span2D<double> s(data, 2, 2);
+  u::Span2D<const double> cs = s;
+  EXPECT_EQ(cs(1, 1), 4.0);
+}
+
+TEST(Buffer, ZeroInitialisedAndAligned) {
+  u::Buffer<double> b(1000);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % u::kCacheLineBytes, 0u);
+}
+
+TEST(Buffer, CopyIsDeep) {
+  u::Buffer<double> a(8);
+  a.fill(3.5);
+  u::Buffer<double> b = a;
+  b[0] = -1.0;
+  EXPECT_EQ(a[0], 3.5);
+  EXPECT_EQ(b[1], 3.5);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  u::Buffer<double> a(8);
+  a.fill(2.0);
+  const double* p = a.data();
+  u::Buffer<double> b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Buffer, View2DRoundTrip) {
+  u::Buffer<double> b(6);
+  auto v = b.view2d(3, 2);
+  v(2, 1) = 9.0;
+  EXPECT_EQ(b[5], 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  u::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  u::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  u::Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanReasonable) {
+  u::Rng r(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.01);
+}
+
+TEST(Rng, NextBelowIsBounded) {
+  u::Rng r(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  u::Rng r(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, SummaryBasics) {
+  const double vals[] = {4.0, 1.0, 3.0, 2.0};
+  const u::Summary s = u::summarize(vals);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmptyAndSingle) {
+  EXPECT_EQ(u::summarize({}).count, 0u);
+  const double one[] = {5.0};
+  const u::Summary s = u::summarize(one);
+  EXPECT_EQ(s.median, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {3, 5, 7, 9};  // y = 1 + 2x
+  const u::LinearFit f = u::fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerFitExact) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 6; ++i) {
+    x.push_back(i * 10.0);
+    y.push_back(2.5 * std::pow(i * 10.0, 1.3));
+  }
+  const u::PowerFit f = u::fit_power(x, y);
+  EXPECT_NEAR(f.coefficient, 2.5, 1e-9);
+  EXPECT_NEAR(f.exponent, 1.3, 1e-12);
+  EXPECT_NEAR(f.eval(100.0), 2.5 * std::pow(100.0, 1.3), 1e-6);
+}
+
+TEST(Stats, PowerFitRejectsNonPositive) {
+  const double x[] = {1.0, -2.0};
+  const double y[] = {1.0, 2.0};
+  EXPECT_THROW(u::fit_power(x, y), std::invalid_argument);
+}
+
+TEST(Stats, RelDiff) {
+  EXPECT_DOUBLE_EQ(u::rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(u::rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// string_util
+// ---------------------------------------------------------------------------
+
+TEST(StringUtil, TrimAndLower) {
+  EXPECT_EQ(u::trim("  a b \t"), "a b");
+  EXPECT_EQ(u::to_lower("AbC"), "abc");
+  EXPECT_EQ(u::trim(""), "");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = u::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, Parsers) {
+  EXPECT_EQ(u::parse_double("2.5"), 2.5);
+  EXPECT_FALSE(u::parse_double("2.5x").has_value());
+  EXPECT_EQ(u::parse_long(" 42 "), 42);
+  EXPECT_FALSE(u::parse_long("4.2").has_value());
+  EXPECT_EQ(u::parse_bool("On"), true);
+  EXPECT_EQ(u::parse_bool("no"), false);
+  EXPECT_FALSE(u::parse_bool("maybe").has_value());
+}
+
+TEST(StringUtil, Strf) {
+  EXPECT_EQ(u::strf("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(StringUtil, HumanFormats) {
+  EXPECT_EQ(u::human_count(1'500'000), "1.50M");
+  EXPECT_EQ(u::human_seconds(0.002), "2.00 ms");
+}
+
+// ---------------------------------------------------------------------------
+// ini
+// ---------------------------------------------------------------------------
+
+TEST(Ini, ParsesKeysFlagsAndComments) {
+  const auto cfg = u::IniConfig::parse(
+      "! tea.in style\n"
+      "x_cells=128\n"
+      "tl_use_cg\n"
+      "tl_eps = 1e-12  ! tolerance\n");
+  EXPECT_EQ(cfg.get_long_or("x_cells", 0), 128);
+  EXPECT_TRUE(cfg.get_bool_or("tl_use_cg", false));
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("tl_eps", 0.0), 1e-12);
+  EXPECT_EQ(cfg.get_or("missing", "d"), "d");
+}
+
+TEST(Ini, ParsesStateLines) {
+  const auto cfg = u::IniConfig::parse(
+      "state 1 density=100.0 energy=0.0001\n"
+      "state 2 density=0.1 energy=25.0 xmin=0.0 xmax=5.0 ymin=0.0 ymax=2.0\n");
+  ASSERT_EQ(cfg.states().size(), 2u);
+  EXPECT_EQ(cfg.states()[1].index, 2);
+  EXPECT_DOUBLE_EQ(cfg.states()[1].fields.at("xmax"), 5.0);
+}
+
+TEST(Ini, BadStateLineThrows) {
+  EXPECT_THROW(u::IniConfig::parse("state x density=1"), std::runtime_error);
+  EXPECT_THROW(u::IniConfig::parse("state 1 density=abc"), std::runtime_error);
+}
+
+TEST(Ini, TypeErrorsThrow) {
+  const auto cfg = u::IniConfig::parse("k=hello\n");
+  EXPECT_THROW(cfg.get_double_or("k", 0.0), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// cli
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "pos1", "--nx=64", "--device", "gpu", "--fast"};
+  const u::Cli cli(6, argv);
+  EXPECT_EQ(cli.get_long_or("nx", 0), 64);
+  EXPECT_EQ(cli.get_or("device", ""), "gpu");
+  EXPECT_TRUE(cli.has("fast"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, BareFlagGreedilyConsumesNextNonFlag) {
+  // Documented ambiguity of the `--flag value` form: a bare flag followed by
+  // a non-flag token takes it as its value.
+  const char* argv[] = {"prog", "--fast", "pos1"};
+  const u::Cli cli(3, argv);
+  EXPECT_EQ(cli.get_or("fast", ""), "pos1");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, TypeErrorThrows) {
+  const char* argv[] = {"prog", "--nx=abc"};
+  const u::Cli cli(2, argv);
+  EXPECT_THROW(cli.get_long_or("nx", 0), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// log
+// ---------------------------------------------------------------------------
+
+TEST(Log, ThresholdFiltersLevels) {
+  const auto before = u::log_level();
+  u::set_log_level(u::LogLevel::kError);
+  EXPECT_EQ(u::log_level(), u::LogLevel::kError);
+  // Below-threshold calls are dropped without touching stderr state; this
+  // mainly asserts the calls are safe at any level.
+  u::log_debug("dropped %d", 1);
+  u::log_info("dropped %s", "x");
+  u::log_warn("dropped");
+  u::set_log_level(u::LogLevel::kOff);
+  u::log_error("also dropped");
+  u::set_log_level(before);
+}
+
+TEST(Log, MessageApiAcceptsStrings) {
+  const auto before = u::log_level();
+  u::set_log_level(u::LogLevel::kOff);
+  u::log_message(u::LogLevel::kError, std::string(300, 'x'));
+  u::set_log_level(before);
+}
+
+// ---------------------------------------------------------------------------
+// table / csv
+// ---------------------------------------------------------------------------
+
+TEST(Table, RendersAlignedRows) {
+  u::Table t({"name", "value"});
+  t.row({"alpha", "1.5"});
+  t.row({"b", "22.25"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find(" 22.25 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  u::Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only one"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "tlm_test_csv.csv";
+  {
+    u::CsvWriter csv(path, {"a", "b"});
+    csv.row({"x,y", "pla\"in"});
+  }
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "a,b");
+  EXPECT_EQ(row, "\"x,y\",\"pla\"\"in\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "tlm_test_csv2.csv";
+  u::CsvWriter csv(path, {"a"});
+  EXPECT_THROW(csv.row({"1", "2"}), std::invalid_argument);
+  std::filesystem::remove(path);
+}
