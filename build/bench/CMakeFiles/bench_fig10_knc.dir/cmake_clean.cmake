@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_knc.dir/bench_fig10_knc.cpp.o"
+  "CMakeFiles/bench_fig10_knc.dir/bench_fig10_knc.cpp.o.d"
+  "bench_fig10_knc"
+  "bench_fig10_knc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_knc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

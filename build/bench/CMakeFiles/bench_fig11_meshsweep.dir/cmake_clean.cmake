@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_meshsweep.dir/bench_fig11_meshsweep.cpp.o"
+  "CMakeFiles/bench_fig11_meshsweep.dir/bench_fig11_meshsweep.cpp.o.d"
+  "bench_fig11_meshsweep"
+  "bench_fig11_meshsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_meshsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

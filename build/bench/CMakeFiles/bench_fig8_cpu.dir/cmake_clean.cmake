@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cpu.dir/bench_fig8_cpu.cpp.o"
+  "CMakeFiles/bench_fig8_cpu.dir/bench_fig8_cpu.cpp.o.d"
+  "bench_fig8_cpu"
+  "bench_fig8_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gpu.dir/bench_fig9_gpu.cpp.o"
+  "CMakeFiles/bench_fig9_gpu.dir/bench_fig9_gpu.cpp.o.d"
+  "bench_fig9_gpu"
+  "bench_fig9_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_support.dir/bench_table1_support.cpp.o"
+  "CMakeFiles/bench_table1_support.dir/bench_table1_support.cpp.o.d"
+  "bench_table1_support"
+  "bench_table1_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

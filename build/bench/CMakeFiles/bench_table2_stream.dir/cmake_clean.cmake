@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_stream.dir/bench_table2_stream.cpp.o"
+  "CMakeFiles/bench_table2_stream.dir/bench_table2_stream.cpp.o.d"
+  "bench_table2_stream"
+  "bench_table2_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/tlm_bench_harness.dir/harness.cpp.o.d"
+  "libtlm_bench_harness.a"
+  "libtlm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

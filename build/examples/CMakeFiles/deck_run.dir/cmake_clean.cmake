@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deck_run.dir/deck_run.cpp.o"
+  "CMakeFiles/deck_run.dir/deck_run.cpp.o.d"
+  "deck_run"
+  "deck_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deck_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deck_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_sweep.dir/mesh_sweep.cpp.o"
+  "CMakeFiles/mesh_sweep.dir/mesh_sweep.cpp.o.d"
+  "mesh_sweep"
+  "mesh_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

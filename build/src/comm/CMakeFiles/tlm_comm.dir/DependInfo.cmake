@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/decomposition.cpp" "src/comm/CMakeFiles/tlm_comm.dir/decomposition.cpp.o" "gcc" "src/comm/CMakeFiles/tlm_comm.dir/decomposition.cpp.o.d"
+  "/root/repo/src/comm/halo.cpp" "src/comm/CMakeFiles/tlm_comm.dir/halo.cpp.o" "gcc" "src/comm/CMakeFiles/tlm_comm.dir/halo.cpp.o.d"
+  "/root/repo/src/comm/minimpi.cpp" "src/comm/CMakeFiles/tlm_comm.dir/minimpi.cpp.o" "gcc" "src/comm/CMakeFiles/tlm_comm.dir/minimpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tlm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_comm.dir/decomposition.cpp.o"
+  "CMakeFiles/tlm_comm.dir/decomposition.cpp.o.d"
+  "CMakeFiles/tlm_comm.dir/halo.cpp.o"
+  "CMakeFiles/tlm_comm.dir/halo.cpp.o.d"
+  "CMakeFiles/tlm_comm.dir/minimpi.cpp.o"
+  "CMakeFiles/tlm_comm.dir/minimpi.cpp.o.d"
+  "libtlm_comm.a"
+  "libtlm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/tlm_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/eigen.cpp" "src/core/CMakeFiles/tlm_core.dir/eigen.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/eigen.cpp.o.d"
+  "/root/repo/src/core/iteration_model.cpp" "src/core/CMakeFiles/tlm_core.dir/iteration_model.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/iteration_model.cpp.o.d"
+  "/root/repo/src/core/kernel_catalog.cpp" "src/core/CMakeFiles/tlm_core.dir/kernel_catalog.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/kernel_catalog.cpp.o.d"
+  "/root/repo/src/core/kernels_api.cpp" "src/core/CMakeFiles/tlm_core.dir/kernels_api.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/kernels_api.cpp.o.d"
+  "/root/repo/src/core/model_traits.cpp" "src/core/CMakeFiles/tlm_core.dir/model_traits.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/model_traits.cpp.o.d"
+  "/root/repo/src/core/phantom_kernels.cpp" "src/core/CMakeFiles/tlm_core.dir/phantom_kernels.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/phantom_kernels.cpp.o.d"
+  "/root/repo/src/core/reference_kernels.cpp" "src/core/CMakeFiles/tlm_core.dir/reference_kernels.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/reference_kernels.cpp.o.d"
+  "/root/repo/src/core/settings.cpp" "src/core/CMakeFiles/tlm_core.dir/settings.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/settings.cpp.o.d"
+  "/root/repo/src/core/solvers.cpp" "src/core/CMakeFiles/tlm_core.dir/solvers.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/solvers.cpp.o.d"
+  "/root/repo/src/core/state_init.cpp" "src/core/CMakeFiles/tlm_core.dir/state_init.cpp.o" "gcc" "src/core/CMakeFiles/tlm_core.dir/state_init.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/tlm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tlm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

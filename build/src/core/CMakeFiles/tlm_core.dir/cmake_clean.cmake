@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_core.dir/driver.cpp.o"
+  "CMakeFiles/tlm_core.dir/driver.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/eigen.cpp.o"
+  "CMakeFiles/tlm_core.dir/eigen.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/iteration_model.cpp.o"
+  "CMakeFiles/tlm_core.dir/iteration_model.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/kernel_catalog.cpp.o"
+  "CMakeFiles/tlm_core.dir/kernel_catalog.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/kernels_api.cpp.o"
+  "CMakeFiles/tlm_core.dir/kernels_api.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/model_traits.cpp.o"
+  "CMakeFiles/tlm_core.dir/model_traits.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/phantom_kernels.cpp.o"
+  "CMakeFiles/tlm_core.dir/phantom_kernels.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/reference_kernels.cpp.o"
+  "CMakeFiles/tlm_core.dir/reference_kernels.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/settings.cpp.o"
+  "CMakeFiles/tlm_core.dir/settings.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/solvers.cpp.o"
+  "CMakeFiles/tlm_core.dir/solvers.cpp.o.d"
+  "CMakeFiles/tlm_core.dir/state_init.cpp.o"
+  "CMakeFiles/tlm_core.dir/state_init.cpp.o.d"
+  "libtlm_core.a"
+  "libtlm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

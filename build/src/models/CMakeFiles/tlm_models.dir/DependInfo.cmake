@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/host_pool.cpp" "src/models/CMakeFiles/tlm_models.dir/host_pool.cpp.o" "gcc" "src/models/CMakeFiles/tlm_models.dir/host_pool.cpp.o.d"
+  "/root/repo/src/models/ocllike/opencl.cpp" "src/models/CMakeFiles/tlm_models.dir/ocllike/opencl.cpp.o" "gcc" "src/models/CMakeFiles/tlm_models.dir/ocllike/opencl.cpp.o.d"
+  "/root/repo/src/models/rajalike/raja.cpp" "src/models/CMakeFiles/tlm_models.dir/rajalike/raja.cpp.o" "gcc" "src/models/CMakeFiles/tlm_models.dir/rajalike/raja.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

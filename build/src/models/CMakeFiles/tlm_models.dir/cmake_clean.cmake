@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_models.dir/host_pool.cpp.o"
+  "CMakeFiles/tlm_models.dir/host_pool.cpp.o.d"
+  "CMakeFiles/tlm_models.dir/ocllike/opencl.cpp.o"
+  "CMakeFiles/tlm_models.dir/ocllike/opencl.cpp.o.d"
+  "CMakeFiles/tlm_models.dir/rajalike/raja.cpp.o"
+  "CMakeFiles/tlm_models.dir/rajalike/raja.cpp.o.d"
+  "libtlm_models.a"
+  "libtlm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

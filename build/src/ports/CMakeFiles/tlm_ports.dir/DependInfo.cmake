@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ports/port_cuda.cpp" "src/ports/CMakeFiles/tlm_ports.dir/port_cuda.cpp.o" "gcc" "src/ports/CMakeFiles/tlm_ports.dir/port_cuda.cpp.o.d"
+  "/root/repo/src/ports/port_kokkos.cpp" "src/ports/CMakeFiles/tlm_ports.dir/port_kokkos.cpp.o" "gcc" "src/ports/CMakeFiles/tlm_ports.dir/port_kokkos.cpp.o.d"
+  "/root/repo/src/ports/port_offload.cpp" "src/ports/CMakeFiles/tlm_ports.dir/port_offload.cpp.o" "gcc" "src/ports/CMakeFiles/tlm_ports.dir/port_offload.cpp.o.d"
+  "/root/repo/src/ports/port_omp3.cpp" "src/ports/CMakeFiles/tlm_ports.dir/port_omp3.cpp.o" "gcc" "src/ports/CMakeFiles/tlm_ports.dir/port_omp3.cpp.o.d"
+  "/root/repo/src/ports/port_opencl.cpp" "src/ports/CMakeFiles/tlm_ports.dir/port_opencl.cpp.o" "gcc" "src/ports/CMakeFiles/tlm_ports.dir/port_opencl.cpp.o.d"
+  "/root/repo/src/ports/port_raja.cpp" "src/ports/CMakeFiles/tlm_ports.dir/port_raja.cpp.o" "gcc" "src/ports/CMakeFiles/tlm_ports.dir/port_raja.cpp.o.d"
+  "/root/repo/src/ports/registry.cpp" "src/ports/CMakeFiles/tlm_ports.dir/registry.cpp.o" "gcc" "src/ports/CMakeFiles/tlm_ports.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tlm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tlm_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_ports.dir/port_cuda.cpp.o"
+  "CMakeFiles/tlm_ports.dir/port_cuda.cpp.o.d"
+  "CMakeFiles/tlm_ports.dir/port_kokkos.cpp.o"
+  "CMakeFiles/tlm_ports.dir/port_kokkos.cpp.o.d"
+  "CMakeFiles/tlm_ports.dir/port_offload.cpp.o"
+  "CMakeFiles/tlm_ports.dir/port_offload.cpp.o.d"
+  "CMakeFiles/tlm_ports.dir/port_omp3.cpp.o"
+  "CMakeFiles/tlm_ports.dir/port_omp3.cpp.o.d"
+  "CMakeFiles/tlm_ports.dir/port_opencl.cpp.o"
+  "CMakeFiles/tlm_ports.dir/port_opencl.cpp.o.d"
+  "CMakeFiles/tlm_ports.dir/port_raja.cpp.o"
+  "CMakeFiles/tlm_ports.dir/port_raja.cpp.o.d"
+  "CMakeFiles/tlm_ports.dir/registry.cpp.o"
+  "CMakeFiles/tlm_ports.dir/registry.cpp.o.d"
+  "libtlm_ports.a"
+  "libtlm_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

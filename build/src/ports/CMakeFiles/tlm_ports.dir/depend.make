@@ -1,0 +1,2 @@
+# Empty dependencies file for tlm_ports.
+# This may be replaced when dependencies are built.

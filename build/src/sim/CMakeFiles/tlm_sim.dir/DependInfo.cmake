@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/codegen.cpp" "src/sim/CMakeFiles/tlm_sim.dir/codegen.cpp.o" "gcc" "src/sim/CMakeFiles/tlm_sim.dir/codegen.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/tlm_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/tlm_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/tlm_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/tlm_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/tlm_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/tlm_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/stream.cpp" "src/sim/CMakeFiles/tlm_sim.dir/stream.cpp.o" "gcc" "src/sim/CMakeFiles/tlm_sim.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tlm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

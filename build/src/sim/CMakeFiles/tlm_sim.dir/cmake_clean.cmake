@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_sim.dir/codegen.cpp.o"
+  "CMakeFiles/tlm_sim.dir/codegen.cpp.o.d"
+  "CMakeFiles/tlm_sim.dir/device.cpp.o"
+  "CMakeFiles/tlm_sim.dir/device.cpp.o.d"
+  "CMakeFiles/tlm_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/tlm_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/tlm_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/tlm_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tlm_sim.dir/stream.cpp.o"
+  "CMakeFiles/tlm_sim.dir/stream.cpp.o.d"
+  "libtlm_sim.a"
+  "libtlm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

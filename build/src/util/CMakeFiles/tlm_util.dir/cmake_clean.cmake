@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_util.dir/buffer.cpp.o"
+  "CMakeFiles/tlm_util.dir/buffer.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/cli.cpp.o"
+  "CMakeFiles/tlm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/csv.cpp.o"
+  "CMakeFiles/tlm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/ini.cpp.o"
+  "CMakeFiles/tlm_util.dir/ini.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/log.cpp.o"
+  "CMakeFiles/tlm_util.dir/log.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/rng.cpp.o"
+  "CMakeFiles/tlm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/stats.cpp.o"
+  "CMakeFiles/tlm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/string_util.cpp.o"
+  "CMakeFiles/tlm_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/tlm_util.dir/table.cpp.o"
+  "CMakeFiles/tlm_util.dir/table.cpp.o.d"
+  "libtlm_util.a"
+  "libtlm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtlm_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_comm.dir/test_comm.cpp.o"
+  "CMakeFiles/tests_comm.dir/test_comm.cpp.o.d"
+  "tests_comm"
+  "tests_comm.pdb"
+  "tests_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/tests_core.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ports/CMakeFiles/tlm_ports.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tlm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tlm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/test_integration.cpp.o"
+  "CMakeFiles/tests_integration.dir/test_integration.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

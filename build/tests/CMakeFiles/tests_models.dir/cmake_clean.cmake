@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_models.dir/test_models.cpp.o"
+  "CMakeFiles/tests_models.dir/test_models.cpp.o.d"
+  "tests_models"
+  "tests_models.pdb"
+  "tests_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

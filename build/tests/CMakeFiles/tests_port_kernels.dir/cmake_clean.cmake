@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_port_kernels.dir/test_port_kernels.cpp.o"
+  "CMakeFiles/tests_port_kernels.dir/test_port_kernels.cpp.o.d"
+  "tests_port_kernels"
+  "tests_port_kernels.pdb"
+  "tests_port_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_port_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ports.dir/test_ports.cpp.o"
+  "CMakeFiles/tests_ports.dir/test_ports.cpp.o.d"
+  "tests_ports"
+  "tests_ports.pdb"
+  "tests_ports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_properties.dir/test_properties.cpp.o"
+  "CMakeFiles/tests_properties.dir/test_properties.cpp.o.d"
+  "tests_properties"
+  "tests_properties.pdb"
+  "tests_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

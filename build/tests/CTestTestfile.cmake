@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_util[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_comm[1]_include.cmake")
+include("/root/repo/build/tests/tests_models[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_ports[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_port_kernels[1]_include.cmake")
+include("/root/repo/build/tests/tests_properties[1]_include.cmake")
