@@ -3,14 +3,18 @@
 // OpenMP 4.0 +45% CG / ~10% otherwise; OpenCL CG ~3x the best; RAJA native
 // substantially slower everywhere (no vectorisation through indirection);
 // Kokkos HP roughly halves flat Kokkos' CG/PPCG times.
+//
+// Supports --profile / --trace=FILE / --trace-model=ID (see bench/harness.hpp);
+// flagless output is unchanged.
 
 #include "bench/harness.hpp"
 #include "sim/device.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   bench::Harness harness;
   bench::run_device_figure(harness, tl::sim::DeviceId::kMicKnc,
                            "Figure 10: KNC (Xeon Phi 5110P/SE10P) runtimes",
-                           "fig10_knc.csv");
+                           "fig10_knc.csv",
+                           bench::parse_trace_options(argc, argv));
   return 0;
 }

@@ -2,14 +2,18 @@
 // (lower is better). Paper shape: CUDA ~= OpenCL best; OpenACC +30% on CG,
 // +10% otherwise; Kokkos <5% on Chebyshev/PPCG with a +50% CG anomaly;
 // Kokkos HP trades ~10% better CG for >20% worse Chebyshev/PPCG.
+//
+// Supports --profile / --trace=FILE / --trace-model=ID (see bench/harness.hpp);
+// flagless output is unchanged.
 
 #include "bench/harness.hpp"
 #include "sim/device.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   bench::Harness harness;
   bench::run_device_figure(harness, tl::sim::DeviceId::kGpuK20X,
                            "Figure 9: GPU (NVIDIA K20X) runtimes",
-                           "fig9_gpu.csv");
+                           "fig9_gpu.csv",
+                           bench::parse_trace_options(argc, argv));
   return 0;
 }

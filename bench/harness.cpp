@@ -7,7 +7,9 @@
 #include "core/driver.hpp"
 #include "core/phantom_kernels.hpp"
 #include "ports/registry.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/metrics.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -44,7 +46,8 @@ int Harness::predicted_outer(SolverKind solver, int nx) const {
 
 SolveResult Harness::modelled_solve(sim::Model model, sim::DeviceId device,
                                     SolverKind solver, int nx,
-                                    std::uint64_t run_seed) const {
+                                    std::uint64_t run_seed,
+                                    sim::TraceSink* sink) const {
   core::Settings s = proto_;
   s.nx = s.ny = nx;
   s.solver = solver;
@@ -65,10 +68,10 @@ SolveResult Harness::modelled_solve(sim::Model model, sim::DeviceId device,
     script.converge_on_ur = (solver == SolverKind::kCg);
   }
 
-  core::Driver driver(s,
-                      std::make_unique<core::PhantomKernels>(
-                          model, device, core::Mesh(nx, nx, s.halo_depth),
-                          script, run_seed),
+  auto kernels = std::make_unique<core::PhantomKernels>(
+      model, device, core::Mesh(nx, nx, s.halo_depth), script, run_seed);
+  if (sink != nullptr) kernels->attach_trace_sink(sink);
+  core::Driver driver(s, std::move(kernels),
                       core::DriverOptions{.materialize_host_state = false});
   const core::RunReport report = driver.run();
 
@@ -111,8 +114,78 @@ void Harness::print_calibration() const {
 
 std::string fmt_seconds(double s) { return util::strf("%.1f", s); }
 
+TraceOptions parse_trace_options(int argc, const char* const* argv) {
+  const util::Cli cli(argc, argv);
+  TraceOptions opts;
+  opts.profile = cli.has("profile");
+  opts.trace_path = cli.get_or("trace", "");
+  opts.trace_model = cli.get_or("trace-model", "");
+  return opts;
+}
+
+namespace {
+
+/// Per-kernel breakdown of one model's three solves at the convergence mesh
+/// (the paper-style table: PPCG time concentrated in ppcg_inner, etc.).
+void print_model_profile(const Harness& harness, sim::Model model,
+                         sim::DeviceId device) {
+  util::Aggregator agg;
+  sim::AggregatingSink sink(agg);
+  for (const SolverKind solver : core::kAllSolvers) {
+    harness.modelled_solve(model, device, solver, Harness::kConvergenceMesh, 1,
+                           &sink);
+  }
+  std::printf("\n-- per-kernel profile: %s (CG + Chebyshev + PPCG, %llu "
+              "events, %.1f s total) --\n",
+              std::string(sim::model_name(model)).c_str(),
+              static_cast<unsigned long long>(agg.total_events()),
+              agg.total_ns() * 1e-9);
+  std::fputs(util::format_profile_table(agg.profiles()).c_str(), stdout);
+}
+
+/// Writes a Chrome trace of one model's three solves, one process row per
+/// solver, so chrome://tracing shows the per-kernel timelines side by side.
+void write_figure_trace(const Harness& harness, sim::Model model,
+                        sim::DeviceId device, const std::string& path) {
+  // Bound memory on pathological meshes; dropped counts are reported.
+  constexpr std::size_t kMaxEventsPerSolve = 500'000;
+  std::vector<sim::RecordingSink> sinks;
+  std::vector<sim::TraceGroup> groups;
+  sinks.reserve(core::kAllSolvers.size());
+  for (const SolverKind solver : core::kAllSolvers) {
+    sinks.emplace_back(kMaxEventsPerSolve);
+    harness.modelled_solve(model, device, solver, Harness::kConvergenceMesh, 1,
+                           &sinks.back());
+  }
+  std::size_t total = 0, dropped = 0;
+  std::size_t i = 0;
+  for (const SolverKind solver : core::kAllSolvers) {
+    groups.push_back(sim::TraceGroup{
+        std::string(sim::model_id(model)) + "/" +
+            std::string(core::solver_name(solver)),
+        sinks[i].events()});
+    total += sinks[i].events().size();
+    dropped += sinks[i].dropped();
+    ++i;
+  }
+  if (!sim::write_chrome_trace_file(path, groups)) {
+    std::printf("\ntrace: FAILED to write %s\n", path.c_str());
+    return;
+  }
+  std::printf("\ntrace: %zu events (%s) written to %s — load in "
+              "chrome://tracing or ui.perfetto.dev\n",
+              total, std::string(sim::model_name(model)).c_str(), path.c_str());
+  if (dropped != 0) {
+    std::printf("trace: %zu events over the %zu-per-solve cap were dropped\n",
+                dropped, kMaxEventsPerSolve);
+  }
+}
+
+}  // namespace
+
 void run_device_figure(const Harness& harness, sim::DeviceId device,
-                       const std::string& title, const std::string& csv_path) {
+                       const std::string& title, const std::string& csv_path,
+                       const TraceOptions& trace) {
   std::printf("== %s ==\n(4096x4096 mesh, runtimes in simulated seconds, "
               "lower is better)\n\n", title.c_str());
   harness.print_calibration();
@@ -136,6 +209,26 @@ void run_device_figure(const Harness& harness, sim::DeviceId device,
   }
   table.print();
   std::printf("\nCSV written to %s\n", csv_path.c_str());
+
+  const std::vector<sim::Model> figure = ports::figure_models(device);
+  if (trace.profile) {
+    for (const sim::Model m : figure) print_model_profile(harness, m, device);
+  }
+  if (!trace.trace_path.empty() && !figure.empty()) {
+    sim::Model traced = figure.front();
+    if (!trace.trace_model.empty()) {
+      const auto parsed = sim::parse_model(trace.trace_model);
+      if (parsed && ports::is_supported(*parsed, device)) {
+        traced = *parsed;
+      } else {
+        std::printf("\ntrace: unknown/unsupported --trace-model '%s', "
+                    "tracing %s instead\n",
+                    trace.trace_model.c_str(),
+                    std::string(sim::model_id(traced)).c_str());
+      }
+    }
+    write_figure_trace(harness, traced, device, trace.trace_path);
+  }
 }
 
 }  // namespace bench

@@ -15,6 +15,7 @@
 #include "core/settings.hpp"
 #include "sim/device.hpp"
 #include "sim/model_id.hpp"
+#include "sim/trace.hpp"
 
 namespace bench {
 
@@ -43,10 +44,13 @@ class Harness {
   int predicted_outer(tl::core::SolverKind solver, int nx) const;
 
   /// Paper-scale modelled solve: one timestep at nx^2 under (model, device),
-  /// iterations from the calibrated fit, metered via PhantomKernels.
+  /// iterations from the calibrated fit, metered via PhantomKernels. When
+  /// `sink` is non-null it receives one TraceEvent per metered
+  /// launch/transfer of the solve (the result is unchanged either way).
   SolveResult modelled_solve(tl::sim::Model model, tl::sim::DeviceId device,
                              tl::core::SolverKind solver, int nx,
-                             std::uint64_t run_seed = 1) const;
+                             std::uint64_t run_seed = 1,
+                             tl::sim::TraceSink* sink = nullptr) const;
 
   /// The paper's headline mesh (the mesh-convergence point).
   static constexpr int kConvergenceMesh = 4096;
@@ -65,10 +69,29 @@ class Harness {
 /// Formats seconds for table cells ("1234.5").
 std::string fmt_seconds(double s);
 
+/// Observability flags shared by the figure benches. Both are strictly
+/// additive: with neither set, bench output and CSVs are byte-identical to
+/// the untraced harness (no sink is ever attached).
+struct TraceOptions {
+  /// --profile: after the runtime table, print a per-kernel breakdown
+  /// (count, total, % of run, GB/s, scheduler factor spread) per model.
+  bool profile = false;
+  /// --trace=FILE: write a Chrome trace (chrome://tracing JSON) of one
+  /// model's three solves, one timeline row per solver.
+  std::string trace_path;
+  /// --trace-model=ID: which model to trace (default: the figure's first).
+  std::string trace_model;
+};
+
+/// Parses --profile / --trace=FILE / --trace-model=ID from argv.
+TraceOptions parse_trace_options(int argc, const char* const* argv);
+
 /// Shared driver for the per-device runtime figures (paper Figs 8/9/10):
 /// each figure model x {CG, Chebyshev, PPCG} at the 4096^2 convergence mesh,
-/// printed as a table and written to `csv_path`.
+/// printed as a table and written to `csv_path`. `trace` adds the opt-in
+/// per-kernel profile and Chrome-trace outputs.
 void run_device_figure(const Harness& harness, tl::sim::DeviceId device,
-                       const std::string& title, const std::string& csv_path);
+                       const std::string& title, const std::string& csv_path,
+                       const TraceOptions& trace = {});
 
 }  // namespace bench

@@ -2,18 +2,23 @@
 //
 //   ./quickstart [--nx 128] [--solver cg|cheby|ppcg|jacobi] [--model kokkos]
 //                [--device cpu|gpu|knc] [--steps 1]
+//                [--profile] [--trace=FILE]
 //
 // Builds the default TeaLeaf benchmark problem (dense cold background, hot
 // light region), runs it through the chosen programming-model port on the
 // chosen simulated device, and prints the solve statistics, the physics
-// summary, and the simulated cost.
+// summary, and the simulated cost. --profile adds the per-kernel breakdown of
+// the live port's solve and --trace writes it as Chrome-trace JSON — the same
+// event stream the paper-scale benches record from the analytic replay.
 
 #include <cstdio>
 #include <string>
 
 #include "core/driver.hpp"
 #include "ports/registry.hpp"
+#include "sim/trace.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 #include "util/string_util.hpp"
 
 using namespace tl;
@@ -55,9 +60,20 @@ int main(int argc, char** argv) {
               std::string(sim::model_name(*model)).c_str(),
               std::string(sim::device_spec(*device).name).c_str());
 
+  const bool profile = cli.has("profile");
+  const std::string trace_path = cli.get_or("trace", "");
+
   core::Driver driver(
       settings, ports::make_port(*model, *device,
                                  core::Mesh(nx, nx, settings.halo_depth)));
+
+  // Observability: the sink hangs off the shared metering spine, so the live
+  // port emits one event per metered launch/transfer with no port changes.
+  sim::RecordingSink recording;
+  if (profile || !trace_path.empty()) {
+    driver.kernels().attach_trace_sink(&recording);
+  }
+
   const core::RunReport report = driver.run();
 
   for (const auto& step : report.steps) {
@@ -75,5 +91,28 @@ int main(int argc, char** argv) {
       std::string(sim::device_spec(*device).name).c_str(),
       static_cast<unsigned long long>(report.kernel_launches),
       report.achieved_bandwidth_gbs);
+
+  if (profile) {
+    util::Aggregator agg;
+    for (const sim::TraceEvent& ev : recording.events()) {
+      agg.add(util::LaunchSample{.name = ev.name,
+                                 .duration_ns = ev.duration_ns,
+                                 .bytes = ev.bytes,
+                                 .launch_factor = ev.launch_factor});
+    }
+    std::printf("\nper-kernel profile (%llu events):\n%s",
+                static_cast<unsigned long long>(agg.total_events()),
+                util::format_profile_table(agg.profiles()).c_str());
+  }
+  if (!trace_path.empty()) {
+    const std::string label = std::string(sim::model_id(*model)) + "/" +
+                              std::string(core::solver_name(settings.solver));
+    const sim::TraceGroup group{label, recording.events()};
+    if (sim::write_chrome_trace_file(trace_path,
+                                     std::span<const sim::TraceGroup>(&group, 1))) {
+      std::printf("trace: %zu events written to %s (load in chrome://tracing)\n",
+                  recording.events().size(), trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -34,10 +34,35 @@ const KernelCost& kernel_cost(KernelId id) {
   return kCatalog[static_cast<std::size_t>(id)];
 }
 
+std::string_view kernel_phase(KernelId id) {
+  switch (id) {
+    case KernelId::kInitU:
+    case KernelId::kInitCoef: return "setup";
+    case KernelId::kCalcResidual:
+    case KernelId::kCalc2Norm: return "shared";
+    case KernelId::kFinalise:
+    case KernelId::kFieldSummary: return "diagnostics";
+    case KernelId::kCgInit:
+    case KernelId::kCgCalcW:
+    case KernelId::kCgCalcUr:
+    case KernelId::kCgCalcP: return "cg";
+    case KernelId::kChebyInit:
+    case KernelId::kChebyIterate: return "cheby";
+    case KernelId::kPpcgInitSd:
+    case KernelId::kPpcgInner: return "ppcg";
+    case KernelId::kJacobiCopyU:
+    case KernelId::kJacobiIterate: return "jacobi";
+    case KernelId::kHaloUpdate: return "halo";
+  }
+  return "kernel";
+}
+
 tl::sim::LaunchInfo base_launch_info(KernelId id, std::size_t interior_cells) {
   const KernelCost& cost = kernel_cost(id);
   tl::sim::LaunchInfo info;
   info.name = cost.name;
+  info.kernel_id = static_cast<int>(id);
+  info.phase = kernel_phase(id);
   info.items = interior_cells;
   info.bytes_read =
       static_cast<std::size_t>(cost.reads) * interior_cells * sizeof(double);
@@ -59,6 +84,8 @@ tl::sim::LaunchInfo halo_launch_info(int nx, int ny, int nfields, int depth) {
       perimeter_cells * static_cast<std::size_t>(nfields) * sizeof(double);
   tl::sim::LaunchInfo info;
   info.name = cost.name;
+  info.kernel_id = static_cast<int>(KernelId::kHaloUpdate);
+  info.phase = kernel_phase(KernelId::kHaloUpdate);
   info.items = perimeter_cells * static_cast<std::size_t>(nfields);
   info.bytes_read = bytes;
   info.bytes_written = bytes;

@@ -52,6 +52,11 @@ struct KernelCost {
 
 const KernelCost& kernel_cost(KernelId id);
 
+/// Solver phase the kernel belongs to ("setup", "shared", "cg", "cheby",
+/// "ppcg", "jacobi", "halo", "diagnostics") — the trace category used by the
+/// Chrome exporter and per-phase rollups.
+std::string_view kernel_phase(KernelId id);
+
 /// LaunchInfo for `id` over `interior_cells` cells with the *base* traits
 /// (no model decoration): bytes from the catalogue's stream counts, the
 /// working set sized for the CPU cache model.

@@ -2,6 +2,13 @@
 
 namespace tl::core {
 
+void SolverKernels::attach_trace_sink(tl::sim::TraceSink* sink) {
+  // clock() is const-qualified because metering reads dominate its use, but
+  // the SimClock object itself is mutable state owned by the port's launcher;
+  // attaching an observer does not alter any metered quantity.
+  const_cast<tl::sim::SimClock&>(clock()).set_trace_sink(sink);
+}
+
 int mask_field_count(unsigned mask) {
   int n = 0;
   while (mask != 0) {

@@ -106,6 +106,12 @@ class SolverKernels {
 
   /// Starts a fresh simulated run (new scheduler luck, zeroed clock).
   virtual void begin_run(std::uint64_t run_seed) = 0;
+
+  /// Attaches `sink` (nullptr detaches) to this port's metering clock: every
+  /// subsequent metered launch/transfer emits one sim::TraceEvent. Works for
+  /// every port and the analytic replay with no per-port code, because all of
+  /// them meter through the one SimClock that clock() exposes.
+  void attach_trace_sink(tl::sim::TraceSink* sink);
 };
 
 }  // namespace tl::core

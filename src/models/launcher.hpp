@@ -22,26 +22,33 @@ class Launcher {
  public:
   Launcher(tl::sim::Model model, tl::sim::DeviceId device,
            std::uint64_t run_seed = 1)
-      : perf_(model, device, run_seed) {}
+      : perf_(model, device, run_seed) {
+    clock_.set_trace_context(model, device);
+  }
 
   /// Executes `body()` on the host, then advances simulated time by the
   /// modelled cost of the launch.
   template <typename Body>
   void run(const tl::sim::LaunchInfo& info, Body&& body) {
     std::forward<Body>(body)();
-    clock_.add_launch_time(perf_.launch_ns(info),
-                           info.bytes_read + info.bytes_written);
+    charge(info);
   }
 
   /// Meters a launch without executing anything (analytic big-mesh mode).
   void charge(const tl::sim::LaunchInfo& info) {
-    clock_.add_launch_time(perf_.launch_ns(info),
-                           info.bytes_read + info.bytes_written);
+    const double ns = perf_.launch_ns(info);
+    clock_.record_launch(info, ns, perf_.last_launch_factor());
   }
 
   /// Meters a host<->device transfer (data maps, buffer reads/writes).
   void charge_transfer(const tl::sim::TransferInfo& info) {
-    clock_.add_transfer_time(perf_.transfer_ns(info), info.bytes);
+    clock_.record_transfer(info, perf_.transfer_ns(info));
+  }
+
+  /// Attaches a trace sink (nullptr detaches): one TraceEvent per metered
+  /// launch/transfer from here on. Zero cost while detached.
+  void set_trace_sink(tl::sim::TraceSink* sink) noexcept {
+    clock_.set_trace_sink(sink);
   }
 
   /// Starts a fresh simulated run (re-seeds scheduler luck, zeroes the clock).

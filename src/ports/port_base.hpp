@@ -13,7 +13,7 @@
 //   - upload_state / download_energy / read_u charge one transfer each
 //     (free on host devices);
 //   - reduction finishes (partial sums, scalar readback) are priced inside
-//     the performming model's reduction_overhead, never as extra launches.
+//     the performance model's reduction_overhead, never as extra launches.
 
 #include "core/kernels_api.hpp"
 #include "core/model_traits.hpp"

@@ -3,16 +3,31 @@
 //
 // Kernels execute for real on the host (numerics), while simulated time is
 // accounted here (performance). The clock also keeps launch/transfer/byte
-// counters so benches can report achieved bandwidth (paper Fig 12).
+// counters so benches can report achieved bandwidth (paper Fig 12), and
+// carries the optional trace hook: when a TraceSink is attached, every
+// metered launch/transfer emits one TraceEvent tagged with the kernel's
+// catalogue id, phase, and the scheduler's launch factor. With no sink
+// attached the accounting arithmetic is exactly what it always was.
 
 #include <cstddef>
 #include <cstdint>
+
+#include "sim/trace.hpp"
+#include "sim/traits.hpp"
 
 namespace tl::sim {
 
 class SimClock {
  public:
-  void reset() { *this = SimClock{}; }
+  /// Zeroes the counters. The trace sink and (model, device) context survive
+  /// a reset: begin_run re-seeds runs without detaching observers.
+  void reset() {
+    elapsed_ns_ = 0.0;
+    launches_ = 0;
+    transfers_ = 0;
+    kernel_bytes_ = 0;
+    transfer_bytes_ = 0;
+  }
 
   void add_launch_time(double ns, std::size_t bytes) {
     elapsed_ns_ += ns;
@@ -29,6 +44,57 @@ class SimClock {
   /// Host-side time that is not kernel or transfer work (halo packing on the
   /// host, MPI progress, ...).
   void add_host_time(double ns) { elapsed_ns_ += ns; }
+
+  // -- Trace hook -----------------------------------------------------------
+
+  /// Attaches `sink` (nullptr detaches). Not owned; must outlive the clock
+  /// or be detached first.
+  void set_trace_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  TraceSink* trace_sink() const noexcept { return sink_; }
+
+  /// Identity stamped onto emitted events; set once by the owning Launcher.
+  void set_trace_context(Model model, DeviceId device) noexcept {
+    model_ = model;
+    device_ = device;
+  }
+
+  /// Meters one launch and, if a sink is attached, emits its TraceEvent
+  /// (start = timeline position before the launch was charged).
+  void record_launch(const LaunchInfo& info, double ns, double launch_factor) {
+    const double start = elapsed_ns_;
+    const std::size_t bytes = info.bytes_read + info.bytes_written;
+    add_launch_time(ns, bytes);
+    if (sink_) {
+      sink_->on_event(TraceEvent{.kind = TraceEvent::Kind::kLaunch,
+                                 .name = info.name,
+                                 .kernel_id = info.kernel_id,
+                                 .phase = info.phase,
+                                 .model = model_,
+                                 .device = device_,
+                                 .start_ns = start,
+                                 .duration_ns = ns,
+                                 .bytes = bytes,
+                                 .launch_factor = launch_factor});
+    }
+  }
+
+  /// Meters one host<->device transfer and emits its TraceEvent.
+  void record_transfer(const TransferInfo& info, double ns) {
+    const double start = elapsed_ns_;
+    add_transfer_time(ns, info.bytes);
+    if (sink_) {
+      sink_->on_event(TraceEvent{.kind = TraceEvent::Kind::kTransfer,
+                                 .name = info.name,
+                                 .kernel_id = -1,
+                                 .phase = "transfer",
+                                 .model = model_,
+                                 .device = device_,
+                                 .start_ns = start,
+                                 .duration_ns = ns,
+                                 .bytes = info.bytes,
+                                 .launch_factor = 1.0});
+    }
+  }
 
   double elapsed_ns() const noexcept { return elapsed_ns_; }
   double elapsed_seconds() const noexcept { return elapsed_ns_ * 1e-9; }
@@ -50,6 +116,10 @@ class SimClock {
   std::uint64_t transfers_ = 0;
   std::size_t kernel_bytes_ = 0;
   std::size_t transfer_bytes_ = 0;
+
+  TraceSink* sink_ = nullptr;  // not owned
+  Model model_ = Model::kOmp3Cpp;
+  DeviceId device_ = DeviceId::kCpuSandyBridge;
 };
 
 }  // namespace tl::sim

@@ -29,6 +29,7 @@ PerfModel::PerfModel(Model model, DeviceId device, std::uint64_t run_seed)
 
 void PerfModel::begin_run(std::uint64_t run_seed) {
   scheduler_.begin_run(run_seed);
+  last_launch_factor_ = 1.0;
 }
 
 double PerfModel::efficiency(const KernelTraits& traits) const {
@@ -75,6 +76,7 @@ double PerfModel::launch_ns(const LaunchInfo& info) {
   // Work-stealing luck scales the whole launch (dispatch and compute alike);
   // static schedules leave the factor at 1.
   const double sched = scheduler_.launch_factor();
+  last_launch_factor_ = sched;
   const double bw_gbs =
       effective_bandwidth_gbs(info.traits, info.working_set_bytes);
   const double bytes =

@@ -39,6 +39,11 @@ class PerfModel {
   /// schedulers consume randomness per launch.
   double launch_ns(const LaunchInfo& info);
 
+  /// Scheduler efficiency factor consumed by the most recent launch_ns call
+  /// (1.0 for static schedules, and before any launch). Trace events carry
+  /// it so the OpenCL CPU run-to-run spread is inspectable per launch.
+  double last_launch_factor() const noexcept { return last_launch_factor_; }
+
   /// Simulated cost of one host<->device transfer. Free on host devices and
   /// for natively compiled ports (data already lives on the card).
   double transfer_ns(const TransferInfo& info) const;
@@ -61,6 +66,7 @@ class PerfModel {
   const CodegenProfile* profile_;
   SchedulerModel scheduler_;
   bool offloads_ = false;
+  double last_launch_factor_ = 1.0;
 };
 
 }  // namespace tl::sim

@@ -1,0 +1,110 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace tl::sim {
+
+void RecordingSink::on_event(const TraceEvent& event) {
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void RecordingSink::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+namespace {
+
+/// JSON string escaping for the few names we emit (catalogue identifiers,
+/// model/device names); covers the full required set anyway.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_event(std::ostream& os, const TraceEvent& e, int pid, bool first) {
+  if (!first) os << ",\n";
+  // Complete ("X") events; Chrome expects microseconds.
+  os << "  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+     << json_escape(e.phase.empty() ? "kernel" : e.phase)
+     << "\",\"ph\":\"X\",\"ts\":" << util::strf("%.6f", e.start_ns * 1e-3)
+     << ",\"dur\":" << util::strf("%.6f", e.duration_ns * 1e-3)
+     << ",\"pid\":" << pid << ",\"tid\":0,\"args\":{"
+     << "\"kind\":\""
+     << (e.kind == TraceEvent::Kind::kTransfer ? "transfer" : "launch")
+     << "\",\"model\":\"" << json_escape(model_name(e.model))
+     << "\",\"device\":\"" << json_escape(device_short_name(e.device))
+     << "\",\"bytes\":" << e.bytes << ",\"gbs\":"
+     << util::strf("%.3f", e.gbs())
+     << ",\"launch_factor\":" << util::strf("%.4f", e.launch_factor) << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::span<const TraceGroup> groups) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  int pid = 0;
+  for (const TraceGroup& group : groups) {
+    // Metadata event naming the process row after the group label.
+    if (!first) os << ",\n";
+    os << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(group.label)
+       << "\"}}";
+    first = false;
+    for (const TraceEvent& event : group.events) {
+      write_event(os, event, pid, false);
+    }
+    ++pid;
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
+                        std::string_view label) {
+  const TraceGroup group{std::string(label), events};
+  write_chrome_trace(os, std::span<const TraceGroup>(&group, 1));
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             std::span<const TraceGroup> groups) {
+  std::ofstream out(path);
+  if (!out) {
+    util::log_error("write_chrome_trace_file: cannot open '%s'", path.c_str());
+    return false;
+  }
+  write_chrome_trace(out, groups);
+  out.flush();
+  if (!out) {
+    util::log_error("write_chrome_trace_file: write to '%s' failed",
+                    path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tl::sim

@@ -1,0 +1,130 @@
+#pragma once
+// Kernel-level tracing for the simulated timeline.
+//
+// Every metered launch/transfer — from every live port (omp3, kokkos, raja,
+// opencl, cuda, offload) and the analytic PhantomKernels replay alike — can
+// emit one TraceEvent through an optional TraceSink hooked into the SimClock.
+// Because the hook sits on the shared metering spine (models::Launcher ->
+// SimClock), the ports need zero per-port tracing code and all emit identical
+// event streams; when no sink is attached, metering is byte-for-byte
+// unchanged.
+//
+// Two consumers ship with the repo:
+//   - RecordingSink keeps the ordered event stream (Chrome trace export,
+//     launch-factor histograms, tests);
+//   - AggregatingSink folds events straight into a util::Aggregator
+//     (O(#kernels) memory, for full paper-scale solves).
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/model_id.hpp"
+#include "util/metrics.hpp"
+
+namespace tl::sim {
+
+/// One metered launch or transfer on the simulated timeline.
+struct TraceEvent {
+  enum class Kind { kLaunch, kTransfer };
+
+  Kind kind = Kind::kLaunch;
+  std::string_view name = "kernel";  // catalogue kernel / transfer name
+  int kernel_id = -1;                // core::KernelId cast; -1 for transfers
+  std::string_view phase = "";       // solver phase ("cg", "cheby", "halo", ...)
+  Model model = Model::kOmp3Cpp;
+  DeviceId device = DeviceId::kCpuSandyBridge;
+  double start_ns = 0.0;     // simulated timeline position at launch
+  double duration_ns = 0.0;  // simulated cost charged for it
+  std::size_t bytes = 0;     // main-memory (launch) or link (transfer) traffic
+  double launch_factor = 1.0;  // scheduler efficiency factor (1.0 = static)
+
+  /// Achieved bandwidth of this one event, GB/s (B/ns == GB/s).
+  double gbs() const {
+    return duration_ns > 0.0 ? static_cast<double>(bytes) / duration_ns : 0.0;
+  }
+};
+
+/// Receives one call per metered launch/transfer, in metering order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Stores the ordered event stream. An optional capacity bounds memory for
+/// very long runs: events past it are counted in dropped(), never silently
+/// discarded.
+class RecordingSink final : public TraceSink {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit RecordingSink(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void on_event(const TraceEvent& event) override;
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// Folds events straight into a util::Aggregator without storing them.
+class AggregatingSink final : public TraceSink {
+ public:
+  explicit AggregatingSink(util::Aggregator& aggregator)
+      : aggregator_(&aggregator) {}
+
+  void on_event(const TraceEvent& event) override {
+    aggregator_->add(util::LaunchSample{.name = event.name,
+                                        .duration_ns = event.duration_ns,
+                                        .bytes = event.bytes,
+                                        .launch_factor = event.launch_factor});
+  }
+
+ private:
+  util::Aggregator* aggregator_;
+};
+
+/// Fans one event stream out to several sinks (e.g. record + aggregate).
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void on_event(const TraceEvent& event) override {
+    for (TraceSink* sink : sinks_) {
+      if (sink) sink->on_event(event);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// One named timeline row of a Chrome trace (rendered as its own process).
+struct TraceGroup {
+  std::string label;
+  std::span<const TraceEvent> events;
+};
+
+/// Writes groups in the Chrome trace-event JSON format (load via
+/// chrome://tracing or https://ui.perfetto.dev). Timestamps are simulated
+/// microseconds; each group becomes one named process row.
+void write_chrome_trace(std::ostream& os, std::span<const TraceGroup> groups);
+
+/// Single-timeline convenience overload.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
+                        std::string_view label = "solve");
+
+/// Writes a Chrome trace to `path`. Returns false (and logs) on I/O failure.
+bool write_chrome_trace_file(const std::string& path,
+                             std::span<const TraceGroup> groups);
+
+}  // namespace tl::sim

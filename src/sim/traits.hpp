@@ -42,6 +42,13 @@ struct KernelTraits {
 /// One kernel launch, as metered by the performance model.
 struct LaunchInfo {
   std::string_view name = "kernel";
+  /// Catalogue identity tag (core::KernelId cast to int; -1 when the launch
+  /// does not come from the catalogue). Carried so trace sinks can attribute
+  /// events without the ports adding any tagging code.
+  int kernel_id = -1;
+  /// Solver phase the kernel belongs to ("setup", "cg", "cheby", "ppcg",
+  /// "jacobi", "halo", "diagnostics"); becomes the Chrome trace category.
+  std::string_view phase = "";
   KernelTraits traits{};
   std::size_t items = 0;          // iteration-space size
   std::size_t bytes_read = 0;     // main-memory traffic generated

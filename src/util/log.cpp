@@ -3,12 +3,24 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "util/string_util.hpp"
 
 namespace tl::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("TL_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -30,6 +42,16 @@ void vlog(LogLevel level, const char* fmt, va_list args) {
   std::fputc('\n', stderr);
 }
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  const std::string norm = to_lower(trim(text));
+  if (norm == "debug") return LogLevel::kDebug;
+  if (norm == "info") return LogLevel::kInfo;
+  if (norm == "warn" || norm == "warning") return LogLevel::kWarn;
+  if (norm == "error") return LogLevel::kError;
+  if (norm == "off" || norm == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);

@@ -2,14 +2,23 @@
 // Leveled logging to stderr. Kept deliberately simple: benches and examples
 // print their primary output with tables/CSV; the log is for diagnostics.
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace tl::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are dropped. Defaults to kWarn so
-/// library code stays quiet in tests unless something is wrong.
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive,
+/// surrounding whitespace ignored); nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Global threshold; messages below it are dropped. Starts at kWarn so
+/// library code stays quiet in tests unless something is wrong; the
+/// TL_LOG_LEVEL environment variable overrides the starting level at process
+/// startup (unparsable values are ignored), so benches and tests can turn on
+/// diagnostics without recompiling.
 void set_log_level(LogLevel level);
 LogLevel log_level() noexcept;
 

@@ -1,0 +1,71 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace tl::util {
+
+void Aggregator::add(const LaunchSample& sample) {
+  auto it = by_kernel_.find(sample.name);
+  if (it == by_kernel_.end()) {
+    KernelProfile p;
+    p.name = std::string(sample.name);
+    p.min_ns = sample.duration_ns;
+    p.max_ns = sample.duration_ns;
+    p.factor_min = sample.launch_factor;
+    p.factor_max = sample.launch_factor;
+    it = by_kernel_.emplace(p.name, std::move(p)).first;
+  }
+  KernelProfile& p = it->second;
+  ++p.count;
+  p.total_ns += sample.duration_ns;
+  p.min_ns = std::min(p.min_ns, sample.duration_ns);
+  p.max_ns = std::max(p.max_ns, sample.duration_ns);
+  p.bytes += sample.bytes;
+  p.factor_min = std::min(p.factor_min, sample.launch_factor);
+  p.factor_max = std::max(p.factor_max, sample.launch_factor);
+  p.factor_sum += sample.launch_factor;
+
+  ++total_events_;
+  total_ns_ += sample.duration_ns;
+  total_bytes_ += sample.bytes;
+}
+
+std::vector<KernelProfile> Aggregator::profiles() const {
+  std::vector<KernelProfile> out;
+  out.reserve(by_kernel_.size());
+  for (const auto& [name, profile] : by_kernel_) out.push_back(profile);
+  for (KernelProfile& p : out) {
+    p.percent = total_ns_ > 0.0 ? 100.0 * p.total_ns / total_ns_ : 0.0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KernelProfile& a, const KernelProfile& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Aggregator::clear() {
+  by_kernel_.clear();
+  total_events_ = 0;
+  total_ns_ = 0.0;
+  total_bytes_ = 0;
+}
+
+std::string format_profile_table(const std::vector<KernelProfile>& profiles) {
+  Table table({"kernel", "launches", "total s", "% of run", "mean us", "GB/s",
+               "sched min/mean/max"});
+  for (const KernelProfile& p : profiles) {
+    table.row({p.name, strf("%llu", static_cast<unsigned long long>(p.count)),
+               strf("%.3f", p.total_ns * 1e-9), strf("%.1f", p.percent),
+               strf("%.2f", p.mean_ns() * 1e-3), strf("%.1f", p.bandwidth_gbs()),
+               strf("%.2f/%.2f/%.2f", p.factor_min, p.factor_mean(),
+                    p.factor_max)});
+  }
+  return table.render();
+}
+
+}  // namespace tl::util

@@ -1,0 +1,85 @@
+#pragma once
+// Per-kernel metric aggregation.
+//
+// The trace layer (sim/trace) emits one sample per metered launch/transfer;
+// the Aggregator folds them into per-kernel profiles — count, total/min/max
+// duration, bytes moved, achieved bandwidth, scheduler launch-factor spread —
+// the granularity the paper argues at (its section 4.1 attributes model gaps
+// to individual kernels, not whole solves).
+//
+// Lives in util (below sim) so it stays a pure fold over plain samples: the
+// sim layer adapts TraceEvents into LaunchSamples, never the other way.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tl::util {
+
+/// One metered launch or transfer, reduced to what profiles need.
+struct LaunchSample {
+  std::string_view name;       // catalogue kernel name or transfer name
+  double duration_ns = 0.0;    // simulated cost of this launch
+  std::size_t bytes = 0;       // main-memory (or link) traffic
+  double launch_factor = 1.0;  // scheduler efficiency factor (1.0 = static)
+};
+
+/// Folded profile of one kernel across a run.
+struct KernelProfile {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  std::size_t bytes = 0;
+  /// Share of the aggregate's total time, in percent (filled by profiles()).
+  double percent = 0.0;
+  /// Scheduler launch-factor spread across this kernel's launches.
+  double factor_min = 1.0;
+  double factor_max = 1.0;
+  double factor_sum = 0.0;
+
+  double mean_ns() const {
+    return count ? total_ns / static_cast<double>(count) : 0.0;
+  }
+  double factor_mean() const {
+    return count ? factor_sum / static_cast<double>(count) : 0.0;
+  }
+  /// Achieved bandwidth over this kernel's launches, GB/s (B/ns == GB/s).
+  double bandwidth_gbs() const {
+    return total_ns > 0.0 ? static_cast<double>(bytes) / total_ns : 0.0;
+  }
+};
+
+/// Streaming fold of LaunchSamples into per-kernel profiles. O(#kernels)
+/// memory regardless of run length, so a full 4096^2 multi-thousand-iteration
+/// solve can be profiled without storing its event stream.
+class Aggregator {
+ public:
+  void add(const LaunchSample& sample);
+
+  std::uint64_t total_events() const noexcept { return total_events_; }
+  double total_ns() const noexcept { return total_ns_; }
+  std::size_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Profiles sorted by total time descending, percentages filled against
+  /// this aggregate's total (they sum to 100 when total_ns() > 0).
+  std::vector<KernelProfile> profiles() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, KernelProfile, std::less<>> by_kernel_;
+  std::uint64_t total_events_ = 0;
+  double total_ns_ = 0.0;
+  std::size_t total_bytes_ = 0;
+};
+
+/// Renders profiles as the paper-style per-kernel breakdown table
+/// (kernel, launches, total s, % of run, GB/s, scheduler factor spread).
+std::string format_profile_table(const std::vector<KernelProfile>& profiles);
+
+}  // namespace tl::util

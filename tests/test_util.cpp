@@ -150,7 +150,23 @@ TEST(Stats, SummaryEmptyAndSingle) {
   EXPECT_EQ(u::summarize({}).count, 0u);
   const double one[] = {5.0};
   const u::Summary s = u::summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
   EXPECT_EQ(s.median, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummaryConstantSeries) {
+  const double vals[] = {2.5, 2.5, 2.5, 2.5, 2.5};
+  const u::Summary s = u::summarize(vals);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.min, 2.5);
+  EXPECT_EQ(s.max, 2.5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  // Cancellation in the variance accumulation must not go negative/NaN.
   EXPECT_EQ(s.stddev, 0.0);
 }
 
@@ -308,6 +324,30 @@ TEST(Log, MessageApiAcceptsStrings) {
   u::set_log_level(u::LogLevel::kOff);
   u::log_message(u::LogLevel::kError, std::string(300, 'x'));
   u::set_log_level(before);
+}
+
+TEST(Log, ParseLogLevelAcceptsAllNames) {
+  EXPECT_EQ(u::parse_log_level("debug"), u::LogLevel::kDebug);
+  EXPECT_EQ(u::parse_log_level("info"), u::LogLevel::kInfo);
+  EXPECT_EQ(u::parse_log_level("warn"), u::LogLevel::kWarn);
+  EXPECT_EQ(u::parse_log_level("warning"), u::LogLevel::kWarn);
+  EXPECT_EQ(u::parse_log_level("error"), u::LogLevel::kError);
+  EXPECT_EQ(u::parse_log_level("off"), u::LogLevel::kOff);
+  EXPECT_EQ(u::parse_log_level("none"), u::LogLevel::kOff);
+}
+
+TEST(Log, ParseLogLevelIsCaseAndWhitespaceInsensitive) {
+  // TL_LOG_LEVEL comes straight from the environment, so tolerate the usual
+  // shell noise.
+  EXPECT_EQ(u::parse_log_level("WARN"), u::LogLevel::kWarn);
+  EXPECT_EQ(u::parse_log_level("Debug"), u::LogLevel::kDebug);
+  EXPECT_EQ(u::parse_log_level("  info "), u::LogLevel::kInfo);
+}
+
+TEST(Log, ParseLogLevelRejectsUnknown) {
+  EXPECT_EQ(u::parse_log_level("bogus"), std::nullopt);
+  EXPECT_EQ(u::parse_log_level(""), std::nullopt);
+  EXPECT_EQ(u::parse_log_level("3"), std::nullopt);
 }
 
 // ---------------------------------------------------------------------------
