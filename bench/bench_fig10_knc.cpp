@@ -4,17 +4,18 @@
 // substantially slower everywhere (no vectorisation through indirection);
 // Kokkos HP roughly halves flat Kokkos' CG/PPCG times.
 //
-// Supports --profile / --trace=FILE / --trace-model=ID (see bench/harness.hpp);
-// flagless output is unchanged.
+// Supports --profile / --trace=FILE / --trace-model=ID / --smoke (see
+// bench/harness.hpp); flagless output is unchanged.
 
 #include "bench/harness.hpp"
 #include "sim/device.hpp"
 
 int main(int argc, char** argv) {
-  bench::Harness harness;
+  const bench::TraceOptions trace = bench::parse_trace_options(argc, argv);
+  bench::Harness harness(trace.smoke ? bench::smoke_ladder()
+                                     : std::vector<int>{});
   bench::run_device_figure(harness, tl::sim::DeviceId::kMicKnc,
                            "Figure 10: KNC (Xeon Phi 5110P/SE10P) runtimes",
-                           "fig10_knc.csv",
-                           bench::parse_trace_options(argc, argv));
+                           "fig10_knc.csv", trace);
   return 0;
 }

@@ -7,6 +7,8 @@
 //                   histogram of the OpenCL CPU work-stealing scheduler
 //   --trace=FILE    Chrome trace (chrome://tracing) of one model's solves
 //   --trace-model=ID  which model to trace (default: first figure model)
+//   --smoke         CI fast path: short calibration ladder, 512^2 mesh,
+//                   5-run variance experiment (CSV not golden-comparable)
 
 #include <algorithm>
 #include <cstdio>
@@ -22,12 +24,11 @@ namespace {
 /// The paper explains the OpenCL CPU spread with TBB's non-deterministic
 /// work stealing; with tracing attached the per-launch scheduler factors are
 /// directly observable, so print their distribution across one solve.
-void print_launch_factor_histogram(const bench::Harness& harness) {
+void print_launch_factor_histogram(const bench::Harness& harness, int mesh) {
   using namespace tl;
   sim::RecordingSink sink;
   harness.modelled_solve(sim::Model::kOpenCl, sim::DeviceId::kCpuSandyBridge,
-                         core::SolverKind::kCg, bench::Harness::kConvergenceMesh,
-                         1, &sink);
+                         core::SolverKind::kCg, mesh, 1, &sink);
   std::vector<double> factors;
   factors.reserve(sink.events().size());
   for (const sim::TraceEvent& ev : sink.events()) {
@@ -68,31 +69,36 @@ void print_launch_factor_histogram(const bench::Harness& harness) {
 int main(int argc, char** argv) {
   using namespace tl;
   const bench::TraceOptions trace = bench::parse_trace_options(argc, argv);
-  bench::Harness harness;
+  bench::Harness harness(trace.smoke ? bench::smoke_ladder()
+                                     : std::vector<int>{});
   bench::run_device_figure(harness, sim::DeviceId::kCpuSandyBridge,
                            "Figure 8: CPU (2x Xeon E5-2670) runtimes",
                            "fig8_cpu.csv", trace);
 
   // The 15-run OpenCL variance experiment (total across the three solvers).
+  // Smoke mode keeps the experiment but shrinks it (5 runs, smoke mesh).
+  const int runs = trace.smoke ? 5 : 15;
+  const int mesh =
+      trace.smoke ? bench::kSmokeMesh : bench::Harness::kConvergenceMesh;
   std::vector<double> totals;
-  for (std::uint64_t run = 1; run <= 15; ++run) {
+  for (std::uint64_t run = 1; run <= static_cast<std::uint64_t>(runs); ++run) {
     double total = 0.0;
     for (const core::SolverKind solver : core::kAllSolvers) {
       total += harness
                    .modelled_solve(sim::Model::kOpenCl,
                                    sim::DeviceId::kCpuSandyBridge, solver,
-                                   bench::Harness::kConvergenceMesh, run)
+                                   mesh, run)
                    .seconds;
     }
     totals.push_back(total);
   }
   const auto s = util::summarize(totals);
   std::printf(
-      "\nOpenCL CPU variance over 15 runs (TBB-style work stealing): "
+      "\nOpenCL CPU variance over %d runs (TBB-style work stealing): "
       "min %.0f s, max %.0f s, mean %.0f s, stddev %.0f s\n"
       "paper reported min 1631 s / max 2813 s over 15 tests\n",
-      s.min, s.max, s.mean, s.stddev);
+      runs, s.min, s.max, s.mean, s.stddev);
 
-  if (trace.profile) print_launch_factor_histogram(harness);
+  if (trace.profile) print_launch_factor_histogram(harness, mesh);
   return 0;
 }

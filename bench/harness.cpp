@@ -114,12 +114,15 @@ void Harness::print_calibration() const {
 
 std::string fmt_seconds(double s) { return util::strf("%.1f", s); }
 
+std::vector<int> smoke_ladder() { return {24, 32, 48}; }
+
 TraceOptions parse_trace_options(int argc, const char* const* argv) {
   const util::Cli cli(argc, argv);
   TraceOptions opts;
   opts.profile = cli.has("profile");
   opts.trace_path = cli.get_or("trace", "");
   opts.trace_model = cli.get_or("trace-model", "");
+  opts.smoke = cli.has("smoke");
   return opts;
 }
 
@@ -128,12 +131,11 @@ namespace {
 /// Per-kernel breakdown of one model's three solves at the convergence mesh
 /// (the paper-style table: PPCG time concentrated in ppcg_inner, etc.).
 void print_model_profile(const Harness& harness, sim::Model model,
-                         sim::DeviceId device) {
+                         sim::DeviceId device, int mesh) {
   util::Aggregator agg;
   sim::AggregatingSink sink(agg);
   for (const SolverKind solver : core::kAllSolvers) {
-    harness.modelled_solve(model, device, solver, Harness::kConvergenceMesh, 1,
-                           &sink);
+    harness.modelled_solve(model, device, solver, mesh, 1, &sink);
   }
   std::printf("\n-- per-kernel profile: %s (CG + Chebyshev + PPCG, %llu "
               "events, %.1f s total) --\n",
@@ -146,7 +148,8 @@ void print_model_profile(const Harness& harness, sim::Model model,
 /// Writes a Chrome trace of one model's three solves, one process row per
 /// solver, so chrome://tracing shows the per-kernel timelines side by side.
 void write_figure_trace(const Harness& harness, sim::Model model,
-                        sim::DeviceId device, const std::string& path) {
+                        sim::DeviceId device, int mesh,
+                        const std::string& path) {
   // Bound memory on pathological meshes; dropped counts are reported.
   constexpr std::size_t kMaxEventsPerSolve = 500'000;
   std::vector<sim::RecordingSink> sinks;
@@ -154,8 +157,7 @@ void write_figure_trace(const Harness& harness, sim::Model model,
   sinks.reserve(core::kAllSolvers.size());
   for (const SolverKind solver : core::kAllSolvers) {
     sinks.emplace_back(kMaxEventsPerSolve);
-    harness.modelled_solve(model, device, solver, Harness::kConvergenceMesh, 1,
-                           &sinks.back());
+    harness.modelled_solve(model, device, solver, mesh, 1, &sinks.back());
   }
   std::size_t total = 0, dropped = 0;
   std::size_t i = 0;
@@ -186,8 +188,10 @@ void write_figure_trace(const Harness& harness, sim::Model model,
 void run_device_figure(const Harness& harness, sim::DeviceId device,
                        const std::string& title, const std::string& csv_path,
                        const TraceOptions& trace) {
-  std::printf("== %s ==\n(4096x4096 mesh, runtimes in simulated seconds, "
-              "lower is better)\n\n", title.c_str());
+  const int mesh = trace.smoke ? kSmokeMesh : Harness::kConvergenceMesh;
+  std::printf("== %s ==\n(%dx%d mesh%s, runtimes in simulated seconds, "
+              "lower is better)\n\n", title.c_str(), mesh, mesh,
+              trace.smoke ? " — SMOKE MODE" : "");
   harness.print_calibration();
 
   util::CsvWriter csv(csv_path, {"model", "solver", "seconds",
@@ -196,8 +200,7 @@ void run_device_figure(const Harness& harness, sim::DeviceId device,
   for (const sim::Model m : ports::figure_models(device)) {
     std::vector<std::string> row{std::string(sim::model_name(m))};
     for (const SolverKind solver : core::kAllSolvers) {
-      const SolveResult r = harness.modelled_solve(m, device, solver,
-                                                   Harness::kConvergenceMesh);
+      const SolveResult r = harness.modelled_solve(m, device, solver, mesh);
       row.push_back(fmt_seconds(r.seconds));
       csv.row({std::string(sim::model_id(m)),
                std::string(core::solver_name(solver)),
@@ -212,7 +215,9 @@ void run_device_figure(const Harness& harness, sim::DeviceId device,
 
   const std::vector<sim::Model> figure = ports::figure_models(device);
   if (trace.profile) {
-    for (const sim::Model m : figure) print_model_profile(harness, m, device);
+    for (const sim::Model m : figure) {
+      print_model_profile(harness, m, device, mesh);
+    }
   }
   if (!trace.trace_path.empty() && !figure.empty()) {
     sim::Model traced = figure.front();
@@ -227,7 +232,7 @@ void run_device_figure(const Harness& harness, sim::DeviceId device,
                     std::string(sim::model_id(traced)).c_str());
       }
     }
-    write_figure_trace(harness, traced, device, trace.trace_path);
+    write_figure_trace(harness, traced, device, mesh, trace.trace_path);
   }
 }
 

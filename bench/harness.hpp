@@ -69,8 +69,8 @@ class Harness {
 /// Formats seconds for table cells ("1234.5").
 std::string fmt_seconds(double s);
 
-/// Observability flags shared by the figure benches. Both are strictly
-/// additive: with neither set, bench output and CSVs are byte-identical to
+/// Flags shared by the figure benches. The observability flags are strictly
+/// additive: with none set, bench output and CSVs are byte-identical to
 /// the untraced harness (no sink is ever attached).
 struct TraceOptions {
   /// --profile: after the runtime table, print a per-kernel breakdown
@@ -81,9 +81,21 @@ struct TraceOptions {
   std::string trace_path;
   /// --trace-model=ID: which model to trace (default: the figure's first).
   std::string trace_model;
+  /// --smoke: CI fast path — calibrate on a short ladder and run the figure
+  /// at kSmokeMesh instead of the paper's 4096^2. Exercises the identical
+  /// pipeline (calibration, phantom metering, CSV) in a fraction of the
+  /// time; the CSV is NOT comparable to the committed full-size goldens.
+  bool smoke = false;
 };
 
-/// Parses --profile / --trace=FILE / --trace-model=ID from argv.
+/// Mesh edge for --smoke figure runs.
+inline constexpr int kSmokeMesh = 512;
+
+/// Calibration ladder for --smoke runs (the full default ladder is used
+/// otherwise).
+std::vector<int> smoke_ladder();
+
+/// Parses --profile / --trace=FILE / --trace-model=ID / --smoke from argv.
 TraceOptions parse_trace_options(int argc, const char* const* argv);
 
 /// Shared driver for the per-device runtime figures (paper Figs 8/9/10):

@@ -2,7 +2,7 @@
 //
 //   ./quickstart [--nx 128] [--solver cg|cheby|ppcg|jacobi] [--model kokkos]
 //                [--device cpu|gpu|knc] [--steps 1]
-//                [--profile] [--trace=FILE]
+//                [--profile] [--trace=FILE] [--verify]
 //
 // Builds the default TeaLeaf benchmark problem (dense cold background, hot
 // light region), runs it through the chosen programming-model port on the
@@ -10,6 +10,9 @@
 // summary, and the simulated cost. --profile adds the per-kernel breakdown of
 // the live port's solve and --trace writes it as Chrome-trace JSON — the same
 // event stream the paper-scale benches record from the analytic replay.
+// --verify re-runs this model x device x solver cell through the conformance
+// checker (src/verify) against the serial reference kernels and exits
+// nonzero if the port diverges beyond the documented tolerances.
 
 #include <cstdio>
 #include <string>
@@ -20,6 +23,8 @@
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
 #include "util/string_util.hpp"
+#include "verify/conformance.hpp"
+#include "verify/report.hpp"
 
 using namespace tl;
 
@@ -113,6 +118,23 @@ int main(int argc, char** argv) {
       std::printf("trace: %zu events written to %s (load in chrome://tracing)\n",
                   recording.events().size(), trace_path.c_str());
     }
+  }
+
+  if (cli.has("verify")) {
+    verify::VerifyOptions vopt;
+    vopt.nx = nx;
+    vopt.steps = steps;
+    vopt.solvers = {settings.solver};
+    vopt.only_model = *model;
+    vopt.only_device = *device;
+    std::printf("\nverify: checking this cell against the reference kernels\n");
+    const verify::ConformanceReport conformance = verify::run_conformance(vopt);
+    std::fputs(verify::format_matrix(conformance).c_str(), stdout);
+    if (!conformance.all_pass()) {
+      std::fprintf(stderr, "verify: FAILED — port diverges from reference\n");
+      return 1;
+    }
+    std::printf("verify: pass\n");
   }
   return 0;
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: the same preset x compiler
+# matrix, run sequentially. Compilers that are not installed are skipped
+# with a notice (the hosted runners install both gcc and clang; a dev box
+# often has only one).
+#
+#   scripts/ci_local.sh           # full matrix + tsan + conformance + smoke
+#   scripts/ci_local.sh --quick   # release/default-compiler leg only
+#
+# Exits nonzero on the first failing leg.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+run_leg() { # run_leg <preset> <cc> <cxx>
+  local preset=$1 cc=$2 cxx=$3
+  local build_dir="build-${preset}-${cc}"
+  note "leg: ${preset} / ${cc}"
+  CC=$cc CXX=$cxx cmake --preset "$preset" -B "$build_dir" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)"
+  local ctest_args=(--output-on-failure -j "$(nproc)")
+  # Instrumented legs skip the golden-CSV regression label, as in CI:
+  # the release legs cover it, and the full-size benches are slow under
+  # sanitizer instrumentation.
+  [ "$preset" = "asan" ] && ctest_args+=(-LE golden)
+  (cd "$build_dir" && ctest "${ctest_args[@]}")
+
+  note "conformance: tl_verify (${preset} / ${cc})"
+  "./$build_dir/tools/tl_verify" \
+    --golden verify/golden/reference.csv \
+    --json="verify-${preset}-${cc}.json"
+
+  note "bench smoke: fig8 (${preset} / ${cc})"
+  mkdir -p "bench-smoke-${preset}-${cc}"
+  (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fig8_cpu" --smoke >/dev/null)
+  echo "smoke CSV: bench-smoke-${preset}-${cc}/fig8_cpu.csv"
+}
+
+run_tsan() { # run_tsan <cc> <cxx>
+  local cc=$1 cxx=$2
+  local build_dir="build-tsan-${cc}"
+  note "leg: tsan / ${cc} (threading suites)"
+  CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)" \
+    --target tests_models tests_ports tests_verify
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_ports"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_verify"
+}
+
+compilers=()
+command -v gcc >/dev/null 2>&1 && compilers+=("gcc:g++")
+command -v clang >/dev/null 2>&1 && compilers+=("clang:clang++")
+if [ "${#compilers[@]}" -eq 0 ]; then
+  echo "ci_local: no supported compiler (gcc or clang) found" >&2
+  exit 1
+fi
+command -v clang >/dev/null 2>&1 || echo "ci_local: clang not installed, skipping clang legs"
+
+if [ "$QUICK" -eq 1 ]; then
+  IFS=: read -r cc cxx <<<"${compilers[0]}"
+  run_leg release "$cc" "$cxx"
+  note "ci_local --quick: PASS"
+  exit 0
+fi
+
+for entry in "${compilers[@]}"; do
+  IFS=: read -r cc cxx <<<"$entry"
+  run_leg release "$cc" "$cxx"
+  run_leg asan "$cc" "$cxx"
+done
+
+IFS=: read -r cc cxx <<<"${compilers[0]}"
+run_tsan "$cc" "$cxx"
+
+note "ci_local: all legs PASS"

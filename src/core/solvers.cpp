@@ -27,6 +27,7 @@ double cg_bootstrap(SolverKernels& k, const SolveOptions& opt, int prep,
                     std::vector<double>& betas) {
   double rro = k.cg_init();
   stats.initial_rr = rro;
+  stats.rr_history.push_back(rro);
   k.halo_update(kMaskP, 1);
   double rrn = rro;
   for (int it = 0; it < prep; ++it) {
@@ -37,6 +38,7 @@ double cg_bootstrap(SolverKernels& k, const SolveOptions& opt, int prep,
     alphas.push_back(alpha);
     betas.push_back(beta);
     ++stats.iterations;
+    stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
       stats.converged = true;
       stats.converged_on_ur = true;
@@ -58,6 +60,7 @@ SolveStats solve_cg(SolverKernels& k, const SolveOptions& opt) {
 
   double rro = k.cg_init();
   stats.initial_rr = rro;
+  stats.rr_history.push_back(rro);
   if (rro < opt.eps) {  // already solved (cold uniform problem)
     stats.converged = true;
     stats.final_rr = rro;
@@ -71,6 +74,7 @@ SolveStats solve_cg(SolverKernels& k, const SolveOptions& opt) {
     const double alpha = rro / pw;
     const double rrn = k.cg_calc_ur(alpha);
     ++stats.iterations;
+    stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
       stats.converged = true;
       stats.converged_on_ur = true;
@@ -115,6 +119,7 @@ SolveStats solve_cheby(SolverKernels& k, const SolveOptions& opt) {
     ++stats.iterations;
     if ((it + 1) % opt.check_interval == 0) {
       rr = k.calc_2norm(NormTarget::kResidual);
+      stats.rr_history.push_back(rr);
       if (rr < opt.eps) {
         stats.converged = true;
         break;
@@ -124,6 +129,7 @@ SolveStats solve_cheby(SolverKernels& k, const SolveOptions& opt) {
   // Authoritative final residual.
   k.calc_residual();
   stats.final_rr = k.calc_2norm(NormTarget::kResidual);
+  stats.rr_history.push_back(stats.final_rr);
   stats.converged = stats.final_rr < opt.eps;
   return stats;
 }
@@ -153,6 +159,7 @@ SolveStats solve_ppcg(SolverKernels& k, const SolveOptions& opt) {
     const double alpha = rro / pw;
     double rrn = k.cg_calc_ur(alpha);
     ++stats.iterations;
+    stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
       stats.converged = true;
       stats.converged_on_ur = true;
@@ -170,6 +177,7 @@ SolveStats solve_ppcg(SolverKernels& k, const SolveOptions& opt) {
       ++stats.inner_iterations;
     }
     rrn = k.calc_2norm(NormTarget::kResidual);
+    stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
       stats.converged = true;
       stats.final_rr = rrn;
@@ -194,6 +202,7 @@ SolveStats solve_jacobi(SolverKernels& k, const SolveOptions& opt) {
   k.calc_residual();
   double rr = k.calc_2norm(NormTarget::kResidual);
   stats.initial_rr = rr;
+  stats.rr_history.push_back(rr);
   if (rr < opt.eps) {
     stats.converged = true;
     stats.final_rr = rr;
@@ -208,11 +217,13 @@ SolveStats solve_jacobi(SolverKernels& k, const SolveOptions& opt) {
     if ((it + 1) % opt.check_interval == 0) {
       k.calc_residual();
       rr = k.calc_2norm(NormTarget::kResidual);
+      stats.rr_history.push_back(rr);
       if (rr < opt.eps) break;
     }
   }
   k.calc_residual();
   stats.final_rr = k.calc_2norm(NormTarget::kResidual);
+  stats.rr_history.push_back(stats.final_rr);
   stats.converged = stats.final_rr < opt.eps;
   return stats;
 }

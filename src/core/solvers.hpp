@@ -35,6 +35,12 @@ struct SolveStats {
   int inner_iterations = 0;  // PPCG smoothing steps
   double initial_rr = 0.0;
   double final_rr = 0.0;
+  /// Every squared residual norm the solver observed, in control-flow order:
+  /// initial_rr first, then one entry per outer iteration (CG's rrn) or per
+  /// norm check (Chebyshev/PPCG/Jacobi). Two kernel implementations running
+  /// the identical algorithm must produce element-wise matching histories —
+  /// the conformance checker (src/verify) asserts exactly that.
+  std::vector<double> rr_history;
   /// True when convergence fired on the cg_calc_ur return value (PPCG can
   /// alternatively converge on the post-smoothing norm check). The analytic
   /// replay needs this to reproduce the control flow exactly.

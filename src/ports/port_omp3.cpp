@@ -1,5 +1,7 @@
 #include "ports/port_omp3.hpp"
 
+#include <vector>
+
 #include "comm/halo.hpp"
 
 namespace tl::ports {
@@ -123,24 +125,33 @@ core::FieldSummary Omp3Port::field_summary() {
   // reduce clause handles one scalar; pack the others alongside the same
   // sweep (the launch is metered once, per the catalogue).
   core::FieldSummary s;
-  double mass = 0.0, ie = 0.0, temp = 0.0;
+  // Each worker owns its rows, so the per-row slots are disjoint; combining
+  // them in row order afterwards is deterministic across thread counts
+  // (a shared `mass += ...` here would be the classic missing-reduction
+  // data race — ThreadSanitizer in CI holds this door shut).
+  std::vector<double> row_mass(static_cast<std::size_t>(ny_), 0.0);
+  std::vector<double> row_ie(static_cast<std::size_t>(ny_), 0.0);
+  std::vector<double> row_temp(static_cast<std::size_t>(ny_), 0.0);
   s.volume = rt_.parallel_reduce(
       info(KernelId::kFieldSummary), h_, h_ + ny_,
       [&](std::int64_t y, double& acc) {
-        double row_mass = 0.0, row_ie = 0.0, row_temp = 0.0;
+        double m = 0.0, e = 0.0, t = 0.0;
         for (int x = h_; x < h_ + nx_; ++x) {
           acc += vol;
-          row_mass += density(x, y) * vol;
-          row_ie += density(x, y) * energy0(x, y) * vol;
-          row_temp += u(x, y) * vol;
+          m += density(x, y) * vol;
+          e += density(x, y) * energy0(x, y) * vol;
+          t += u(x, y) * vol;
         }
-        mass += row_mass;
-        ie += row_ie;
-        temp += row_temp;
+        const auto row = static_cast<std::size_t>(y - h_);
+        row_mass[row] = m;
+        row_ie[row] = e;
+        row_temp[row] = t;
       });
-  s.mass = mass;
-  s.internal_energy = ie;
-  s.temperature = temp;
+  for (std::size_t row = 0; row < static_cast<std::size_t>(ny_); ++row) {
+    s.mass += row_mass[row];
+    s.internal_energy += row_ie[row];
+    s.temperature += row_temp[row];
+  }
   return s;
 }
 

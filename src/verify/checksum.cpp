@@ -1,0 +1,37 @@
+#include "verify/checksum.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tl::verify {
+
+FieldChecksum checksum_field(const core::Mesh& mesh,
+                             tl::util::Span2D<const double> field) {
+  FieldChecksum cs;
+  cs.min = std::numeric_limits<double>::infinity();
+  cs.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0, sum_c = 0.0;    // Kahan accumulator + compensation
+  double sq = 0.0, sq_c = 0.0;
+  const int h = mesh.halo_depth;
+  for (int y = h; y < h + mesh.ny; ++y) {
+    for (int x = h; x < h + mesh.nx; ++x) {
+      const double v = field(x, y);
+      double t = v - sum_c;
+      double s = sum + t;
+      sum_c = (s - sum) - t;
+      sum = s;
+      t = v * v - sq_c;
+      s = sq + t;
+      sq_c = (s - sq) - t;
+      sq = s;
+      cs.min = std::min(cs.min, v);
+      cs.max = std::max(cs.max, v);
+    }
+  }
+  cs.sum = sum;
+  cs.l2 = std::sqrt(sq);
+  if (mesh.nx <= 0 || mesh.ny <= 0) cs.min = cs.max = 0.0;
+  return cs;
+}
+
+}  // namespace tl::verify

@@ -1,0 +1,28 @@
+#pragma once
+// Deterministic field checksums for conformance records and golden baselines.
+//
+// A checksum condenses one padded field into three numbers computed over the
+// interior only (halos are port-private scratch): a compensated (Kahan) sum,
+// the L2 norm, and the extrema. Kahan summation makes the checksum
+// insensitive to the *accumulation* order the reference uses, so two fields
+// whose cells agree to 1e-12 produce checksums agreeing to the same order —
+// which is what lets a single scalar comparison stand in for a cell-by-cell
+// sweep in the golden store.
+
+#include "core/mesh.hpp"
+#include "util/span2d.hpp"
+
+namespace tl::verify {
+
+struct FieldChecksum {
+  double sum = 0.0;   // compensated interior sum
+  double l2 = 0.0;    // sqrt(sum of squares)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Checksums `field` (padded layout) over the interior of `mesh`.
+FieldChecksum checksum_field(const core::Mesh& mesh,
+                             tl::util::Span2D<const double> field);
+
+}  // namespace tl::verify

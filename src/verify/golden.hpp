@@ -1,0 +1,59 @@
+#pragma once
+// Golden baseline store: committed reference-solve results that pin the
+// correctness oracle itself across commits, compilers, and build types.
+//
+// The cross-model checker compares every port against the in-process
+// reference kernels; the golden store closes the remaining hole — a change
+// that breaks the reference *and* every port identically would still
+// "conform". Baselines live in CSV (verify/golden/reference.csv in the
+// repo), carry full double precision (%.17g), and are regenerated only by an
+// explicit `tl_verify --regen-golden` (the policy: a diff to a golden file
+// must be a reviewed, deliberate act).
+
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/settings.hpp"
+#include "verify/checksum.hpp"
+
+namespace tl::verify {
+
+/// One reference solve, condensed: control flow, physics summary, field
+/// checksums. One record per (solver, nx).
+struct GoldenRecord {
+  core::SolverKind solver = core::SolverKind::kCg;
+  int nx = 0;
+  int steps = 1;
+  bool converged = false;
+  int iterations = 0;
+  int inner_iterations = 0;
+  double final_rr = 0.0;
+  double volume = 0.0;
+  double mass = 0.0;
+  double internal_energy = 0.0;
+  double temperature = 0.0;
+  FieldChecksum u;       // solution field after the last step
+  FieldChecksum energy;  // finalised energy field after the last step
+};
+
+/// Runs the reference kernels on the default problem at `nx` for `steps`
+/// steps with `solver` and condenses the result.
+GoldenRecord compute_reference_record(core::SolverKind solver, int nx,
+                                      int steps = 1);
+
+/// Condenses an already-finished run (any SolverKernels) into a record.
+/// `driver.run()` must have completed; reads u and the chunk's energy field.
+GoldenRecord condense_run(core::Driver& driver, const core::RunReport& report);
+
+/// CSV round trip. `save_golden` overwrites; `load_golden` throws
+/// std::runtime_error on unreadable files or malformed rows.
+void save_golden(const std::string& path,
+                 const std::vector<GoldenRecord>& records);
+std::vector<GoldenRecord> load_golden(const std::string& path);
+
+/// Finds the record for (solver, nx, steps); returns nullptr when absent.
+const GoldenRecord* find_golden(const std::vector<GoldenRecord>& records,
+                                core::SolverKind solver, int nx, int steps);
+
+}  // namespace tl::verify

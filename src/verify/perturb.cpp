@@ -1,0 +1,38 @@
+#include "verify/perturb.hpp"
+
+#include <algorithm>
+
+namespace tl::verify {
+
+const std::vector<std::string>& PerturbingKernels::targets() {
+  static const std::vector<std::string> kTargets = {
+      "cg_init", "cg_calc_w", "cg_calc_ur", "calc_2norm", "field_summary"};
+  return kTargets;
+}
+
+PerturbingKernels::PerturbingKernels(
+    std::unique_ptr<core::SolverKernels> inner, std::string target,
+    double factor)
+    : inner_(std::move(inner)), target_(std::move(target)), factor_(factor) {
+  if (!inner_) {
+    throw std::invalid_argument("PerturbingKernels: null inner kernels");
+  }
+  const auto& ts = targets();
+  if (std::find(ts.begin(), ts.end(), target_) == ts.end()) {
+    std::string msg = "PerturbingKernels: unknown target '" + target_ +
+                      "'; expected one of:";
+    for (const auto& t : ts) msg += " " + t;
+    throw std::invalid_argument(msg);
+  }
+}
+
+core::FieldSummary PerturbingKernels::field_summary() {
+  core::FieldSummary s = inner_->field_summary();
+  if (target_ == "field_summary") {
+    s.internal_energy *= factor_;
+    s.temperature *= factor_;
+  }
+  return s;
+}
+
+}  // namespace tl::verify

@@ -1,0 +1,22 @@
+#pragma once
+// Rendering of conformance results: the human-readable matrix (one table per
+// device, model rows x solver columns, pass/FAIL + worst relative error) and
+// the machine-readable JSON document CI consumes.
+
+#include <string>
+
+#include "verify/conformance.hpp"
+
+namespace tl::verify {
+
+/// Per-device conformance matrix tables plus the golden-check summary.
+std::string format_matrix(const ConformanceReport& report);
+
+/// Full report as JSON: options, golden checks, every cell with every
+/// metric's errors, and a summary block. Stable schema "tl-verify-1".
+std::string to_json(const ConformanceReport& report);
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace tl::verify

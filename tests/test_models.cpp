@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "models/culike/cuda.hpp"
@@ -72,6 +74,59 @@ TEST(HostPool, ReduceSumDeterministicAcrossThreadCounts) {
   EXPECT_DOUBLE_EQ(reduce_with(4), reduce_with(4));
   EXPECT_NEAR(reduce_with(4), serial, 1e-9);
   EXPECT_NEAR(reduce_with(8), serial, 1e-9);
+}
+
+// The race-detector workout: rapid back-to-back dispatches reuse the pool's
+// generation/pending handshake with no settling time between them, non-atomic
+// writes to disjoint chunks exercise the fork/join happens-before edges, and
+// an interleaved reduction reuses the same workers. Run under TSan in CI
+// (the tsan preset) this is the test that would flag a broken handshake.
+TEST(HostPool, StressRapidRedispatchIsRaceFree) {
+  models::HostPool pool(4);
+  std::vector<int> data(4096, 0);
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, static_cast<std::int64_t>(data.size()),
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) {
+                          data[static_cast<std::size_t>(i)] += 1;
+                        }
+                      });
+    if (round % 10 == 0) {
+      const double sum = pool.parallel_reduce_sum(
+          0, static_cast<std::int64_t>(data.size()),
+          [&](std::int64_t b, std::int64_t e) {
+            double acc = 0.0;
+            for (std::int64_t i = b; i < e; ++i) {
+              acc += data[static_cast<std::size_t>(i)];
+            }
+            return acc;
+          });
+      EXPECT_DOUBLE_EQ(sum, static_cast<double>(data.size()) * (round + 1));
+    }
+  }
+  for (const int v : data) EXPECT_EQ(v, 200);
+}
+
+// Independent pools on concurrent caller threads: pools share nothing, so
+// this must be race-free; it exercises construction/teardown overlap.
+TEST(HostPool, ConcurrentIndependentPools) {
+  std::vector<std::thread> callers;
+  std::array<double, 3> results{};
+  for (int t = 0; t < 3; ++t) {
+    callers.emplace_back([&results, t] {
+      models::HostPool pool(3);
+      results[static_cast<std::size_t>(t)] = pool.parallel_reduce_sum(
+          0, 10'000, [](std::int64_t b, std::int64_t e) {
+            double acc = 0.0;
+            for (std::int64_t i = b; i < e; ++i) {
+              acc += static_cast<double>(i);
+            }
+            return acc;
+          });
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (const double r : results) EXPECT_DOUBLE_EQ(r, 10'000.0 * 9'999.0 / 2);
 }
 
 TEST(HostPool, SmallRangeRunsInline) {
