@@ -1,7 +1,7 @@
 // Quickstart: solve one implicit heat-conduction step with the public API.
 //
 //   ./quickstart [--nx 128] [--solver cg|cheby|ppcg|jacobi] [--model kokkos]
-//                [--device cpu|gpu|knc] [--steps 1]
+//                [--device cpu|gpu|knc] [--steps 1] [--ranks 1]
 //                [--profile] [--trace=FILE] [--verify]
 //
 // Builds the default TeaLeaf benchmark problem (dense cold background, hot
@@ -13,11 +13,17 @@
 // --verify re-runs this model x device x solver cell through the conformance
 // checker (src/verify) against the serial reference kernels and exits
 // nonzero if the port diverges beyond the documented tolerances.
+// --ranks R (R > 1) block-decomposes the mesh over R MiniComm ranks and runs
+// the same solve distributed (src/dist): per-rank comm statistics are
+// summarised, --profile folds every rank's events (including the "comm"
+// phase) into one table, and --trace writes one trace group per rank.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/driver.hpp"
+#include "dist/driver.hpp"
 #include "ports/registry.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
@@ -32,10 +38,12 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int nx = static_cast<int>(cli.get_long_or("nx", 128));
   const int steps = static_cast<int>(cli.get_long_or("steps", 1));
+  const int ranks = static_cast<int>(cli.get_long_or("ranks", 1));
 
   core::Settings settings = core::Settings::default_problem();
   settings.nx = settings.ny = nx;
   settings.end_step = steps;
+  settings.nranks = ranks;
 
   const std::string solver_id = cli.get_or("solver", "cg");
   if (solver_id == "cg") settings.solver = core::SolverKind::kCg;
@@ -67,19 +75,40 @@ int main(int argc, char** argv) {
 
   const bool profile = cli.has("profile");
   const std::string trace_path = cli.get_or("trace", "");
+  const bool observe = profile || !trace_path.empty();
 
-  core::Driver driver(
-      settings, ports::make_port(*model, *device,
-                                 core::Mesh(nx, nx, settings.halo_depth)));
-
-  // Observability: the sink hangs off the shared metering spine, so the live
+  // Observability: sinks hang off the shared metering spine, so the live
   // port emits one event per metered launch/transfer with no port changes.
-  sim::RecordingSink recording;
-  if (profile || !trace_path.empty()) {
-    driver.kernels().attach_trace_sink(&recording);
-  }
+  // Distributed runs get one sink per rank (each rank's stream includes its
+  // "comm"-phase halo_exchange/allreduce events).
+  core::RunReport report;
+  std::vector<sim::RecordingSink> rank_sinks;
+  std::vector<dist::RankReport> rank_reports;
 
-  const core::RunReport report = driver.run();
+  if (ranks > 1) {
+    dist::DistributedDriver driver(
+        settings, [&](const core::Mesh& mesh, int rank) {
+          return ports::make_port(*model, *device, mesh,
+                                  1 + static_cast<std::uint64_t>(rank));
+        });
+    rank_sinks = std::vector<sim::RecordingSink>(
+        observe ? static_cast<std::size_t>(ranks) : 0);
+    if (observe) {
+      std::vector<sim::TraceSink*> ptrs;
+      for (sim::RecordingSink& s : rank_sinks) ptrs.push_back(&s);
+      driver.set_rank_sinks(std::move(ptrs));
+    }
+    dist::DistReport dreport = driver.run();
+    report = std::move(dreport.run);
+    rank_reports = std::move(dreport.ranks);
+  } else {
+    core::Driver driver(
+        settings, ports::make_port(*model, *device,
+                                   core::Mesh(nx, nx, settings.halo_depth)));
+    rank_sinks = std::vector<sim::RecordingSink>(observe ? 1 : 0);
+    if (observe) driver.kernels().attach_trace_sink(&rank_sinks[0]);
+    report = driver.run();
+  }
 
   for (const auto& step : report.steps) {
     std::printf(
@@ -97,26 +126,51 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.kernel_launches),
       report.achieved_bandwidth_gbs);
 
+  if (!rank_reports.empty()) {
+    std::printf("\ndecomposed over %d ranks (%s halo protocol, %s):\n", ranks,
+                "x-then-y", std::string(sim::node_interconnect().name).c_str());
+    for (const dist::RankReport& r : rank_reports) {
+      std::printf(
+          "  rank %d: tile %dx%d at (%d,%d) | %llu halo exchanges, "
+          "%llu allreduces, %.2f MB exchanged, comm %s\n",
+          r.rank, r.tile.x_end - r.tile.x_begin, r.tile.y_end - r.tile.y_begin,
+          r.tile.x_begin, r.tile.y_begin,
+          static_cast<unsigned long long>(r.comm.halo_exchanges),
+          static_cast<unsigned long long>(r.comm.allreduces),
+          static_cast<double>(r.comm.bytes) / 1e6,
+          util::human_seconds(r.comm.comm_ns * 1e-9).c_str());
+    }
+  }
+
   if (profile) {
     util::Aggregator agg;
-    for (const sim::TraceEvent& ev : recording.events()) {
-      agg.add(util::LaunchSample{.name = ev.name,
-                                 .duration_ns = ev.duration_ns,
-                                 .bytes = ev.bytes,
-                                 .launch_factor = ev.launch_factor});
+    for (const sim::RecordingSink& sink : rank_sinks) {
+      for (const sim::TraceEvent& ev : sink.events()) {
+        agg.add(util::LaunchSample{.name = ev.name,
+                                   .duration_ns = ev.duration_ns,
+                                   .bytes = ev.bytes,
+                                   .launch_factor = ev.launch_factor});
+      }
     }
-    std::printf("\nper-kernel profile (%llu events):\n%s",
+    std::printf("\nper-kernel profile (%llu events%s):\n%s",
                 static_cast<unsigned long long>(agg.total_events()),
+                ranks > 1 ? ", all ranks" : "",
                 util::format_profile_table(agg.profiles()).c_str());
   }
   if (!trace_path.empty()) {
     const std::string label = std::string(sim::model_id(*model)) + "/" +
                               std::string(core::solver_name(settings.solver));
-    const sim::TraceGroup group{label, recording.events()};
-    if (sim::write_chrome_trace_file(trace_path,
-                                     std::span<const sim::TraceGroup>(&group, 1))) {
+    std::vector<sim::TraceGroup> groups;
+    std::size_t total_events = 0;
+    for (std::size_t r = 0; r < rank_sinks.size(); ++r) {
+      std::string group_label = label;
+      if (ranks > 1) group_label += util::strf("/rank%zu", r);
+      groups.push_back(sim::TraceGroup{group_label, rank_sinks[r].events()});
+      total_events += rank_sinks[r].events().size();
+    }
+    if (sim::write_chrome_trace_file(trace_path, groups)) {
       std::printf("trace: %zu events written to %s (load in chrome://tracing)\n",
-                  recording.events().size(), trace_path.c_str());
+                  total_events, trace_path.c_str());
     }
   }
 
@@ -124,6 +178,7 @@ int main(int argc, char** argv) {
     verify::VerifyOptions vopt;
     vopt.nx = nx;
     vopt.steps = steps;
+    vopt.ranks = ranks;
     vopt.solvers = {settings.solver};
     vopt.only_model = *model;
     vopt.only_device = *device;

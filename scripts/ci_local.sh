@@ -35,6 +35,10 @@ run_leg() { # run_leg <preset> <cc> <cxx>
     --golden verify/golden/reference.csv \
     --json="verify-${preset}-${cc}.json"
 
+  note "distributed conformance: tl_verify --ranks 4 (${preset} / ${cc})"
+  "./$build_dir/tools/tl_verify" --ranks 4 \
+    --json="verify-dist-${preset}-${cc}.json"
+
   note "bench smoke: fig8 (${preset} / ${cc})"
   mkdir -p "bench-smoke-${preset}-${cc}"
   (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fig8_cpu" --smoke >/dev/null)
@@ -47,10 +51,12 @@ run_tsan() { # run_tsan <cc> <cxx>
   note "leg: tsan / ${cc} (threading suites)"
   CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target tests_models tests_ports tests_verify
+    --target tests_models tests_ports tests_verify tests_comm tests_dist
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_ports"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_verify"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_comm"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_dist"
 }
 
 compilers=()

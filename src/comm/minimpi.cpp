@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace tl::comm {
@@ -55,11 +56,14 @@ void World::send_impl(int source, int dest, int tag,
 void World::recv_impl(int rank, int source, int tag, std::span<double> data) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mutex);
+  const auto find_match = [&] {
+    return std::find_if(box.messages.begin(), box.messages.end(),
+                        [&](const Message& m) {
+                          return m.source == source && m.tag == tag;
+                        });
+  };
   for (;;) {
-    const auto it = std::find_if(
-        box.messages.begin(), box.messages.end(), [&](const Message& m) {
-          return m.source == source && m.tag == tag;
-        });
+    const auto it = find_match();
     if (it != box.messages.end()) {
       if (it->payload.size() != data.size()) {
         throw std::runtime_error("recv: message size mismatch");
@@ -68,7 +72,16 @@ void World::recv_impl(int rank, int source, int tag, std::span<double> data) {
       box.messages.erase(it);
       return;
     }
-    box.cv.wait(lock);
+    if (recv_timeout_.count() <= 0) {
+      box.cv.wait(lock);
+    } else if (!box.cv.wait_for(lock, recv_timeout_, [&] {
+                 return find_match() != box.messages.end();
+               })) {
+      throw std::runtime_error(
+          "recv: timed out waiting for (source=" + std::to_string(source) +
+          ", tag=" + std::to_string(tag) +
+          ") — likely deadlock (mismatched tags?)");
+    }
   }
 }
 
@@ -171,8 +184,10 @@ std::vector<double> Communicator::gather(double value, int root) {
 // run_ranks
 // ---------------------------------------------------------------------------
 
-void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body,
+               std::chrono::milliseconds recv_timeout) {
   World world(nranks);
+  world.set_recv_timeout(recv_timeout);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   threads.reserve(static_cast<std::size_t>(nranks));

@@ -10,6 +10,7 @@
 // point model closely enough that the TeaLeaf halo-exchange driver code is
 // shaped exactly as it would be over real MPI.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -63,8 +64,11 @@ class Communicator {
 
 /// Runs `body(comm)` on `nranks` threads, each with its own rank. Any
 /// exception thrown by a rank is rethrown (first rank's exception wins)
-/// after all threads join.
-void run_ranks(int nranks, const std::function<void(Communicator&)>& body);
+/// after all threads join. A nonzero `recv_timeout` arms the World's
+/// deadlock guard (see World::set_recv_timeout).
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body,
+               std::chrono::milliseconds recv_timeout =
+                   std::chrono::milliseconds{0});
 
 /// The shared state behind a set of communicators. Exposed for tests that
 /// want to drive ranks manually instead of via run_ranks.
@@ -77,6 +81,15 @@ class World {
 
   int size() const noexcept { return nranks_; }
   Communicator communicator(int rank);
+
+  /// Deadlock guard: bounds every recv wait. A recv that sees no matching
+  /// (source, tag) message within the window throws std::runtime_error
+  /// instead of blocking forever — mismatched tags in a sendrecv pattern
+  /// become a diagnosable failure, not a hang. Zero (the default) waits
+  /// indefinitely. Set before the rank threads start.
+  void set_recv_timeout(std::chrono::milliseconds timeout) noexcept {
+    recv_timeout_ = timeout;
+  }
 
  private:
   friend class Communicator;
@@ -106,6 +119,7 @@ class World {
   void barrier_impl();
 
   int nranks_;
+  std::chrono::milliseconds recv_timeout_{0};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   CollectiveState collective_;
 };

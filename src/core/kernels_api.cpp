@@ -1,6 +1,13 @@
 #include "core/kernels_api.hpp"
 
+#include <stdexcept>
+
 namespace tl::core {
+
+tl::util::Span2D<double> SolverKernels::field_view(FieldId) {
+  throw std::logic_error(
+      "SolverKernels::field_view: this kernel set exposes no field storage");
+}
 
 void SolverKernels::attach_trace_sink(tl::sim::TraceSink* sink) {
   // clock() is const-qualified because metering reads dominate its use, but

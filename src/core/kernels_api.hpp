@@ -98,6 +98,13 @@ class SolverKernels {
   /// models this is a device->host read.
   virtual void read_u(tl::util::Span2D<double> out) = 0;
 
+  /// Mutable view of one padded field in this port's storage. The distributed
+  /// decorator (src/dist) packs/unpacks halo strips through this seam; every
+  /// storage in the simulation is host-visible, so the view is a plain span
+  /// even for the "device-resident" ports. Throws std::logic_error for
+  /// kernel sets with no real storage (PhantomKernels).
+  virtual tl::util::Span2D<double> field_view(FieldId id);
+
   /// Writes energy back into the host chunk (finalise must have run).
   virtual void download_energy(Chunk& chunk) = 0;
 

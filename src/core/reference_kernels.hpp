@@ -40,6 +40,9 @@ class ReferenceKernels final : public SolverKernels {
 
   /// Direct field access for tests.
   tl::util::Span2D<double> field(FieldId f) { return chunk_.field(f); }
+  tl::util::Span2D<double> field_view(FieldId f) override {
+    return chunk_.field(f);
+  }
 
  private:
   Mesh mesh_;

@@ -31,6 +31,7 @@ Settings Settings::from_config(const tl::util::IniConfig& cfg) {
   s.y_max = cfg.get_double_or("ymax", s.y_max);
   s.dt_init = cfg.get_double_or("initial_timestep", s.dt_init);
   s.end_step = static_cast<int>(cfg.get_long_or("end_step", s.end_step));
+  s.nranks = static_cast<int>(cfg.get_long_or("ranks", s.nranks));
   s.eps = cfg.get_double_or("tl_eps", s.eps);
   s.max_iters = static_cast<int>(cfg.get_long_or("tl_max_iters", s.max_iters));
   s.ppcg_inner_steps =
@@ -83,6 +84,7 @@ void Settings::validate() const {
   }
   if (dt_init <= 0.0) throw std::invalid_argument("Settings: bad timestep");
   if (end_step < 1) throw std::invalid_argument("Settings: end_step < 1");
+  if (nranks < 1) throw std::invalid_argument("Settings: nranks < 1");
   if (eps <= 0.0) throw std::invalid_argument("Settings: eps must be > 0");
   if (max_iters < 1) throw std::invalid_argument("Settings: max_iters < 1");
   if (ppcg_inner_steps < 1) {

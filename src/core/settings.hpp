@@ -52,6 +52,10 @@ struct Settings {
   double dt_init = 0.004;
   int end_step = 1;
 
+  // Distribution: MiniComm ranks the mesh is block-decomposed over
+  // (src/dist). 1 = the classic single-chunk run.
+  int nranks = 1;
+
   // Solver.
   SolverKind solver = SolverKind::kCg;
   Coefficient coefficient = Coefficient::kConductivity;

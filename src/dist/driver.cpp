@@ -1,0 +1,170 @@
+#include "dist/driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/state_init.hpp"
+
+namespace tl::dist {
+
+namespace {
+
+core::Mesh global_mesh_from(const core::Settings& s) {
+  core::Mesh mesh(s.nx, s.ny, s.halo_depth);
+  mesh.x_min = s.x_min;
+  mesh.x_max = s.x_max;
+  mesh.y_min = s.y_min;
+  mesh.y_max = s.y_max;
+  return mesh;
+}
+
+/// One rank's step, mirroring core::Driver::run_step. rx/ry come from the
+/// *global* mesh spacing so every rank applies the bit-identical operator
+/// (tile extents are global multiples, but re-deriving dx from them can
+/// drift by an ulp between tiles of different width).
+core::StepReport run_one_step(DistributedKernels& k, core::Chunk& chunk,
+                              const core::Settings& s, double rx, double ry,
+                              int halo_depth, int step_index) {
+  core::StepReport report;
+  report.step = step_index;
+  report.dt = s.dt_init;
+  const double start_ns = k.clock().elapsed_ns();
+
+  k.upload_state(chunk);
+  k.halo_update(core::kMaskDensity | core::kMaskEnergy0, halo_depth);
+  k.init_u();
+  k.init_coefficients(s.coefficient, rx, ry);
+  k.halo_update(core::kMaskU, 1);
+
+  report.solve =
+      core::solve(s.solver, k, core::SolveOptions::from_settings(s));
+
+  k.finalise();
+  report.summary = k.field_summary();
+  k.download_energy(chunk);
+
+  const core::Mesh& mesh = chunk.mesh();
+  const auto energy = chunk.field(core::FieldId::kEnergy);
+  auto energy0 = chunk.field(core::FieldId::kEnergy0);
+  for (int y = 0; y < mesh.padded_ny(); ++y) {
+    for (int x = 0; x < mesh.padded_nx(); ++x) energy0(x, y) = energy(x, y);
+  }
+
+  report.sim_step_ns = k.clock().elapsed_ns() - start_ns;
+  return report;
+}
+
+}  // namespace
+
+core::Mesh tile_mesh(const core::Mesh& global, const comm::Tile& tile) {
+  core::Mesh mesh(tile.nx(), tile.ny(), global.halo_depth);
+  mesh.x_min = global.x_min + tile.x_begin * global.dx();
+  mesh.x_max = global.x_min + tile.x_end * global.dx();
+  mesh.y_min = global.y_min + tile.y_begin * global.dy();
+  mesh.y_max = global.y_min + tile.y_end * global.dy();
+  return mesh;
+}
+
+std::size_t DistReport::total_comm_bytes() const {
+  std::size_t bytes = 0;
+  for (const RankReport& r : ranks) bytes += r.comm.bytes;
+  return bytes;
+}
+
+DistributedDriver::DistributedDriver(const core::Settings& settings,
+                                     PortFactory factory,
+                                     const sim::NetworkSpec& net)
+    : settings_(settings),
+      decomp_(settings.nx, settings.ny, settings.nranks),
+      global_mesh_(global_mesh_from(settings)),
+      factory_(std::move(factory)),
+      net_(&net) {
+  settings_.validate();
+  if (!factory_) throw std::invalid_argument("DistributedDriver: null factory");
+}
+
+DistReport DistributedDriver::run() {
+  const int nranks = decomp_.nranks();
+  const int h = settings_.halo_depth;
+  const double rx =
+      settings_.dt_init / (global_mesh_.dx() * global_mesh_.dx());
+  const double ry =
+      settings_.dt_init / (global_mesh_.dy() * global_mesh_.dy());
+
+  DistReport report;
+  report.global_mesh = global_mesh_;
+  report.u.resize(global_mesh_.padded_cells());
+  report.energy.resize(global_mesh_.padded_cells());
+  report.ranks.resize(static_cast<std::size_t>(nranks));
+
+  // Rank threads write disjoint slots: their RankReport, their tile's
+  // interior cells of the global field buffers, and (rank 0 only) run.steps.
+  comm::run_ranks(nranks, [&](comm::Communicator& cm) {
+    const int rank = cm.rank();
+    const comm::Tile& tile = decomp_.tile(rank);
+    const core::Mesh mesh = tile_mesh(global_mesh_, tile);
+
+    core::Chunk chunk(mesh);
+    core::Settings paint = settings_;
+    paint.nx = mesh.nx;
+    paint.ny = mesh.ny;
+    core::apply_initial_states(chunk, paint);
+
+    DistributedKernels k(factory_(mesh, rank), cm, decomp_, h, *net_);
+    if (static_cast<std::size_t>(rank) < sinks_.size() &&
+        sinks_[static_cast<std::size_t>(rank)] != nullptr) {
+      k.attach_trace_sink(sinks_[static_cast<std::size_t>(rank)]);
+    }
+
+    std::vector<core::StepReport> steps;
+    steps.reserve(static_cast<std::size_t>(settings_.end_step));
+    for (int s = 0; s < settings_.end_step; ++s) {
+      steps.push_back(run_one_step(k, chunk, settings_, rx, ry, h, s + 1));
+    }
+
+    // Gather this tile's interiors into the global buffers.
+    util::Buffer<double> tile_u(mesh.padded_cells());
+    auto tu = tile_u.view2d(mesh.padded_nx(), mesh.padded_ny());
+    k.read_u(tu);
+    auto gu = report.u.view2d(global_mesh_.padded_nx(),
+                              global_mesh_.padded_ny());
+    auto ge = report.energy.view2d(global_mesh_.padded_nx(),
+                                   global_mesh_.padded_ny());
+    const auto te = chunk.field(core::FieldId::kEnergy);
+    for (int y = 0; y < tile.ny(); ++y) {
+      for (int x = 0; x < tile.nx(); ++x) {
+        gu(h + tile.x_begin + x, h + tile.y_begin + y) = tu(h + x, h + y);
+        ge(h + tile.x_begin + x, h + tile.y_begin + y) = te(h + x, h + y);
+      }
+    }
+
+    RankReport& rr = report.ranks[static_cast<std::size_t>(rank)];
+    rr.rank = rank;
+    rr.tile = tile;
+    rr.sim_seconds = k.clock().elapsed_seconds();
+    rr.kernel_launches = k.clock().launches();
+    rr.kernel_bytes = k.clock().kernel_bytes();
+    rr.comm = k.comm_stats();
+
+    if (rank == 0) report.run.steps = std::move(steps);
+  });
+
+  double max_seconds = 0.0;
+  std::uint64_t launches = 0;
+  std::size_t kernel_bytes = 0;
+  for (const RankReport& r : report.ranks) {
+    max_seconds = std::max(max_seconds, r.sim_seconds);
+    launches += r.kernel_launches;
+    kernel_bytes += r.kernel_bytes;
+  }
+  report.run.sim_total_seconds = max_seconds;
+  report.run.kernel_launches = launches;
+  report.run.achieved_bandwidth_gbs =
+      max_seconds > 0.0 ? static_cast<double>(kernel_bytes) /
+                              (max_seconds * 1e9)
+                        : 0.0;
+  return report;
+}
+
+}  // namespace tl::dist

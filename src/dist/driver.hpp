@@ -1,0 +1,94 @@
+#pragma once
+// DistributedDriver: the multi-rank timestep loop.
+//
+// Spawns a MiniComm world, block-decomposes the global mesh over
+// settings.nranks, gives every rank its own tile-sized port (via the
+// injected factory) wrapped in DistributedKernels, and runs the exact
+// per-step sequence of core::Driver on every rank concurrently: upload,
+// halo(density|energy0), init_u, init_coefficients, halo(u), solve,
+// finalise, summary. Reduced scalars are identical on every rank (MiniComm's
+// allreduce is deterministic), so all ranks take the same control flow and
+// report the same solve statistics; with nranks == 1 the run is exactly the
+// single-rank core::Driver run.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/decomposition.hpp"
+#include "core/driver.hpp"
+#include "core/settings.hpp"
+#include "dist/kernels.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "util/buffer.hpp"
+
+namespace tl::dist {
+
+/// Builds one rank's kernels for its tile mesh. Called concurrently from
+/// every rank thread: must be thread-safe (ports::make_port is).
+using PortFactory = std::function<std::unique_ptr<core::SolverKernels>(
+    const core::Mesh& tile_mesh, int rank)>;
+
+/// Per-rank outcome: the tile, the rank's simulated clock, and its comm tally.
+struct RankReport {
+  int rank = 0;
+  comm::Tile tile;
+  double sim_seconds = 0.0;
+  std::uint64_t kernel_launches = 0;
+  std::size_t kernel_bytes = 0;
+  CommStats comm;
+};
+
+struct DistReport {
+  /// Global view: step reports from rank 0 (solve statistics and summaries
+  /// are allreduced, hence identical on every rank); sim_total_seconds is
+  /// the slowest rank, kernel_launches the sum over ranks.
+  core::RunReport run;
+  std::vector<RankReport> ranks;
+  core::Mesh global_mesh;
+  /// Globally assembled final fields in the padded global layout (interiors
+  /// gathered from every tile; halo cells left zero — checksums are
+  /// interior-only).
+  util::Buffer<double> u;
+  util::Buffer<double> energy;
+
+  std::size_t total_comm_bytes() const;
+};
+
+class DistributedDriver {
+ public:
+  /// Throws std::invalid_argument for bad settings (including a
+  /// decomposition with more ranks than cells).
+  DistributedDriver(const core::Settings& settings, PortFactory factory,
+                    const sim::NetworkSpec& net = sim::node_interconnect());
+
+  /// Runs settings.end_step steps over settings.nranks ranks.
+  DistReport run();
+
+  const comm::BlockDecomposition& decomposition() const noexcept {
+    return decomp_;
+  }
+  const core::Mesh& global_mesh() const noexcept { return global_mesh_; }
+
+  /// Optional per-rank trace sinks (index = rank; nullptr or a short vector
+  /// leaves ranks unobserved). Sinks receive each rank's full event stream,
+  /// including the "comm"-phase halo_exchange/allreduce events.
+  void set_rank_sinks(std::vector<sim::TraceSink*> sinks) {
+    sinks_ = std::move(sinks);
+  }
+
+ private:
+  core::Settings settings_;
+  comm::BlockDecomposition decomp_;
+  core::Mesh global_mesh_;
+  PortFactory factory_;
+  const sim::NetworkSpec* net_;
+  std::vector<sim::TraceSink*> sinks_;
+};
+
+/// The tile's Mesh: tile-sized with the tile's physical sub-extents, so
+/// state painting by cell centre reproduces the global initial condition.
+core::Mesh tile_mesh(const core::Mesh& global, const comm::Tile& tile);
+
+}  // namespace tl::dist

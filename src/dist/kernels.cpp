@@ -1,0 +1,185 @@
+#include "dist/kernels.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+namespace tl::dist {
+
+namespace {
+
+using comm::Face;
+
+// Exchange order is fixed (bit order) so every rank issues the same tagged
+// exchanges in the same sequence.
+constexpr std::array<std::pair<unsigned, core::FieldId>, 6> kMaskFields = {{
+    {core::kMaskU, core::FieldId::kU},
+    {core::kMaskP, core::FieldId::kP},
+    {core::kMaskSd, core::FieldId::kSd},
+    {core::kMaskR, core::FieldId::kR},
+    {core::kMaskDensity, core::FieldId::kDensity},
+    {core::kMaskEnergy0, core::FieldId::kEnergy0},
+}};
+
+// HaloExchanger derives sub-tags as tag*8+k; keep the rolling tag well under
+// MiniComm's reserved collective range (1 << 24).
+constexpr int kTagModulus = 1 << 20;
+
+}  // namespace
+
+DistributedKernels::DistributedKernels(
+    std::unique_ptr<core::SolverKernels> inner, comm::Communicator& comm,
+    const comm::BlockDecomposition& decomp, int halo_depth,
+    const sim::NetworkSpec& net)
+    : inner_(std::move(inner)),
+      comm_(&comm),
+      exchanger_(decomp, comm.rank(), halo_depth),
+      net_(&net),
+      nranks_(decomp.nranks()) {
+  if (!inner_) throw std::invalid_argument("DistributedKernels: null inner");
+  if (nranks_ != comm.size()) {
+    throw std::invalid_argument(
+        "DistributedKernels: decomposition/communicator rank mismatch");
+  }
+}
+
+void DistributedKernels::meter_comm(const char* name, std::size_t sent,
+                                    std::size_t received, double ns) {
+  sim::LaunchInfo info;
+  info.name = name;  // literal: static storage, safe for retained sinks
+  info.kernel_id = -1;
+  info.phase = "comm";
+  info.bytes_read = received;
+  info.bytes_written = sent;
+  const_cast<sim::SimClock&>(inner_->clock()).record_launch(info, ns, 1.0);
+  stats_.bytes += sent + received;
+  stats_.comm_ns += ns;
+}
+
+void DistributedKernels::exchange_field(core::FieldId id, int depth) {
+  const int tag = next_tag_;
+  next_tag_ = (next_tag_ + 1) % kTagModulus;
+  auto field = inner_->field_view(id);
+  exchanger_.exchange(*comm_, field, depth, tag);
+
+  // Wire accounting: a strip of `depth` layers per present neighbour; x
+  // strips span the tile height, y strips the full padded width (corner
+  // propagation). Receives mirror sends exactly.
+  const comm::Tile& tile = exchanger_.tile();
+  std::size_t doubles = 0;
+  int messages = 0;
+  for (const Face f : {Face::kLeft, Face::kRight}) {
+    if (tile.has_neighbour(f)) {
+      doubles += static_cast<std::size_t>(depth) *
+                 static_cast<std::size_t>(tile.ny());
+      ++messages;
+    }
+  }
+  for (const Face f : {Face::kBottom, Face::kTop}) {
+    if (tile.has_neighbour(f)) {
+      doubles += static_cast<std::size_t>(depth) *
+                 static_cast<std::size_t>(field.nx());
+      ++messages;
+    }
+  }
+  const std::size_t bytes = doubles * sizeof(double);
+  ++stats_.halo_exchanges;
+  meter_comm("halo_exchange", bytes, bytes,
+             sim::halo_exchange_ns(*net_, bytes, messages));
+}
+
+double DistributedKernels::allreduce_sum(double local) {
+  if (nranks_ == 1) return local;
+  const double global =
+      comm_->allreduce(local, comm::Communicator::ReduceOp::kSum);
+  ++stats_.allreduces;
+  const std::size_t level_bytes = sizeof(double) * [](int p) {
+    int d = 0;
+    while ((1 << d) < p) ++d;
+    return static_cast<std::size_t>(d);
+  }(nranks_);
+  meter_comm("allreduce", level_bytes, level_bytes,
+             sim::allreduce_ns(*net_, sizeof(double), nranks_));
+  return global;
+}
+
+void DistributedKernels::halo_update(unsigned fields, int depth) {
+  // The port's own update does the local work (and the per-rank metering):
+  // it reflects all four faces as if the tile were the whole domain. The
+  // exchange then overwrites the halos on interior faces with neighbour
+  // data, leaving physical faces reflected — TeaLeaf's update_halo split.
+  inner_->halo_update(fields, depth);
+  if (nranks_ == 1) return;
+  for (const auto& [mask, id] : kMaskFields) {
+    if ((fields & mask) != 0) exchange_field(id, depth);
+  }
+}
+
+double DistributedKernels::calc_2norm(core::NormTarget target) {
+  return allreduce_sum(inner_->calc_2norm(target));
+}
+
+core::FieldSummary DistributedKernels::field_summary() {
+  core::FieldSummary s = inner_->field_summary();
+  if (nranks_ == 1) return s;
+  std::array<double, 4> values = {s.volume, s.mass, s.internal_energy,
+                                  s.temperature};
+  comm_->allreduce(std::span<double>(values.data(), values.size()),
+                   comm::Communicator::ReduceOp::kSum);
+  ++stats_.allreduces;
+  const std::size_t payload = sizeof(values);
+  meter_comm("allreduce", payload, payload,
+             sim::allreduce_ns(*net_, payload, nranks_));
+  return core::FieldSummary{values[0], values[1], values[2], values[3]};
+}
+
+double DistributedKernels::cg_init() { return allreduce_sum(inner_->cg_init()); }
+double DistributedKernels::cg_calc_w() {
+  return allreduce_sum(inner_->cg_calc_w());
+}
+double DistributedKernels::cg_calc_ur(double alpha) {
+  return allreduce_sum(inner_->cg_calc_ur(alpha));
+}
+
+void DistributedKernels::upload_state(const core::Chunk& chunk) {
+  inner_->upload_state(chunk);
+}
+void DistributedKernels::init_u() { inner_->init_u(); }
+void DistributedKernels::init_coefficients(core::Coefficient coefficient,
+                                           double rx, double ry) {
+  inner_->init_coefficients(coefficient, rx, ry);
+}
+void DistributedKernels::calc_residual() { inner_->calc_residual(); }
+void DistributedKernels::finalise() { inner_->finalise(); }
+void DistributedKernels::cg_calc_p(double beta) { inner_->cg_calc_p(beta); }
+void DistributedKernels::cheby_init(double theta) { inner_->cheby_init(theta); }
+void DistributedKernels::cheby_iterate(double alpha, double beta) {
+  inner_->cheby_iterate(alpha, beta);
+}
+void DistributedKernels::ppcg_init_sd(double theta) {
+  inner_->ppcg_init_sd(theta);
+}
+void DistributedKernels::ppcg_inner(double alpha, double beta) {
+  inner_->ppcg_inner(alpha, beta);
+}
+void DistributedKernels::jacobi_copy_u() { inner_->jacobi_copy_u(); }
+void DistributedKernels::jacobi_iterate() { inner_->jacobi_iterate(); }
+void DistributedKernels::read_u(tl::util::Span2D<double> out) {
+  inner_->read_u(out);
+}
+void DistributedKernels::download_energy(core::Chunk& chunk) {
+  inner_->download_energy(chunk);
+}
+const tl::sim::SimClock& DistributedKernels::clock() const {
+  return inner_->clock();
+}
+void DistributedKernels::begin_run(std::uint64_t run_seed) {
+  inner_->begin_run(run_seed);
+  stats_ = CommStats{};
+  next_tag_ = 0;
+}
+tl::util::Span2D<double> DistributedKernels::field_view(core::FieldId id) {
+  return inner_->field_view(id);
+}
+
+}  // namespace tl::dist

@@ -1,0 +1,87 @@
+#pragma once
+// DistributedKernels: rank-aware decoration of any SolverKernels.
+//
+// TeaLeaf's inter-node layer in decorator form: the solver drivers stay
+// byte-identical (they already speak SolverKernels), and every port gains
+// distribution for free. halo_update runs the port's own (local, metered)
+// update first, then exchanges tile boundaries through HaloExchanger; every
+// reduction kernel's local partial is allreduced over the MiniComm world.
+// Communication is charged to the rank's SimClock via the network cost model
+// (sim/network.hpp) as "comm"-phase trace events carrying the wire bytes, so
+// `--profile`/`--trace` and the scaling bench see comm time per rank.
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/halo.hpp"
+#include "comm/minimpi.hpp"
+#include "core/kernels_api.hpp"
+#include "sim/network.hpp"
+
+namespace tl::dist {
+
+/// Per-rank communication tally, aggregated alongside the SimClock counters.
+struct CommStats {
+  std::uint64_t halo_exchanges = 0;  // per-field exchange operations
+  std::uint64_t allreduces = 0;
+  std::size_t bytes = 0;             // wire bytes this rank moved (both ways)
+  double comm_ns = 0.0;              // simulated interconnect time charged
+};
+
+class DistributedKernels final : public core::SolverKernels {
+ public:
+  /// Wraps `inner` for `comm.rank()`'s tile of `decomp`. `halo_depth` is the
+  /// mesh halo depth (exchange depth may be shallower per call). The
+  /// communicator, decomposition, and network spec must outlive this object.
+  DistributedKernels(std::unique_ptr<core::SolverKernels> inner,
+                     comm::Communicator& comm,
+                     const comm::BlockDecomposition& decomp, int halo_depth,
+                     const sim::NetworkSpec& net = sim::node_interconnect());
+
+  // -- Forwarded with distribution -----------------------------------------
+  void halo_update(unsigned fields, int depth) override;
+  double calc_2norm(core::NormTarget target) override;
+  core::FieldSummary field_summary() override;
+  double cg_init() override;
+  double cg_calc_w() override;
+  double cg_calc_ur(double alpha) override;
+
+  // -- Forwarded verbatim ---------------------------------------------------
+  void upload_state(const core::Chunk& chunk) override;
+  void init_u() override;
+  void init_coefficients(core::Coefficient coefficient, double rx,
+                         double ry) override;
+  void calc_residual() override;
+  void finalise() override;
+  void cg_calc_p(double beta) override;
+  void cheby_init(double theta) override;
+  void cheby_iterate(double alpha, double beta) override;
+  void ppcg_init_sd(double theta) override;
+  void ppcg_inner(double alpha, double beta) override;
+  void jacobi_copy_u() override;
+  void jacobi_iterate() override;
+  void read_u(tl::util::Span2D<double> out) override;
+  void download_energy(core::Chunk& chunk) override;
+  const tl::sim::SimClock& clock() const override;
+  void begin_run(std::uint64_t run_seed) override;
+  tl::util::Span2D<double> field_view(core::FieldId id) override;
+
+  const CommStats& comm_stats() const noexcept { return stats_; }
+  core::SolverKernels& inner() noexcept { return *inner_; }
+
+ private:
+  void exchange_field(core::FieldId id, int depth);
+  double allreduce_sum(double local);
+  void meter_comm(const char* name, std::size_t sent, std::size_t received,
+                  double ns);
+
+  std::unique_ptr<core::SolverKernels> inner_;
+  comm::Communicator* comm_;
+  comm::HaloExchanger exchanger_;
+  const sim::NetworkSpec* net_;
+  CommStats stats_;
+  int nranks_;
+  int next_tag_ = 0;
+};
+
+}  // namespace tl::dist

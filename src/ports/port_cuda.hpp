@@ -44,6 +44,10 @@ class CudaPort final : public PortBase {
   void begin_run(std::uint64_t run_seed) override {
     rt_.launcher().begin_run(run_seed);
   }
+  util::Span2D<double> field_view(core::FieldId id) override {
+    // Emulation shortcut: "device" buffers are host-visible (port_base notes).
+    return device_span(id);
+  }
 
  private:
   static constexpr unsigned kBlockSize = 256;

@@ -49,6 +49,11 @@ class KokkosPort : public PortBase {
   void begin_run(std::uint64_t run_seed) override {
     ctx_.launcher().begin_run(run_seed);
   }
+  util::Span2D<double> field_view(core::FieldId id) override {
+    // Views share one host allocation per field; the span stays valid for
+    // the life of views_ (the shared state outlives every copy).
+    return {&view(id)(0, 0), width_, height_};
+  }
 
  protected:
   kokkoslike::View view(core::FieldId id) {

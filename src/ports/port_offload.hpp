@@ -51,6 +51,9 @@ class OffloadPort final : public PortBase {
   void begin_run(std::uint64_t run_seed) override {
     rt_.launcher().begin_run(run_seed);
   }
+  util::Span2D<double> field_view(core::FieldId id) override {
+    return storage_.field(id);
+  }
 
  private:
   double* fp(core::FieldId id) { return storage_.field(id).data(); }

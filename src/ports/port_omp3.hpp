@@ -43,6 +43,9 @@ class Omp3Port final : public PortBase {
   void begin_run(std::uint64_t run_seed) override {
     rt_.launcher().begin_run(run_seed);
   }
+  util::Span2D<double> field_view(core::FieldId id) override {
+    return storage_.field(id);
+  }
 
  private:
   util::Span2D<double> f(core::FieldId id) { return storage_.field(id); }

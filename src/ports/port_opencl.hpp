@@ -47,6 +47,9 @@ class OpenClPort final : public PortBase {
   void begin_run(std::uint64_t run_seed) override {
     ctx_.launcher().begin_run(run_seed);
   }
+  util::Span2D<double> field_view(core::FieldId id) override {
+    return device_span(id);
+  }
 
  private:
   static constexpr std::size_t kWorkGroupSize = 256;

@@ -46,6 +46,9 @@ class RajaPort final : public PortBase {
   void begin_run(std::uint64_t run_seed) override {
     ctx_.launcher().begin_run(run_seed);
   }
+  util::Span2D<double> field_view(core::FieldId id) override {
+    return storage_.field(id);
+  }
 
  private:
   using Policy = rajalike::omp_parallel_for_exec;

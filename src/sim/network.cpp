@@ -1,0 +1,28 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+
+namespace tl::sim {
+
+const NetworkSpec& node_interconnect() {
+  static const NetworkSpec spec{};
+  return spec;
+}
+
+double halo_exchange_ns(const NetworkSpec& net, std::size_t bytes,
+                        int nmessages) {
+  if (nmessages <= 0) return 0.0;
+  return net.latency_ns * nmessages +
+         static_cast<double>(bytes) / net.link_bw_gbs;  // B / (GB/s) == ns
+}
+
+double allreduce_ns(const NetworkSpec& net, std::size_t bytes, int nranks) {
+  if (nranks <= 1) return 0.0;
+  const int depth =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(nranks))));
+  const double per_level =
+      net.latency_ns + 2.0 * static_cast<double>(bytes) / net.link_bw_gbs;
+  return per_level * depth;
+}
+
+}  // namespace tl::sim

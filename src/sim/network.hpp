@@ -1,0 +1,38 @@
+#pragma once
+// Simulated interconnect for the decomposed (multi-rank) configuration.
+//
+// The paper's TeaLeaf relies on MPI over the cluster interconnect for
+// inter-node scaling; this environment runs ranks as threads, so — exactly
+// like the device catalogue in sim/device.hpp — the network is a parametric
+// cost model. Halo exchanges pay per-message latency plus surface bytes over
+// the link bandwidth; allreduce pays a log2(P) latency tree plus its (tiny)
+// payload. The distributed decorator (src/dist) charges these costs to every
+// rank's SimClock so comm time shows up in profiles, traces, and the
+// strong/weak scaling curves of bench_fig13_scaling.
+
+#include <cstddef>
+#include <string_view>
+
+namespace tl::sim {
+
+struct NetworkSpec {
+  std::string_view name = "IB QDR-class interconnect";
+  double link_bw_gbs = 6.0;      // effective per-link MPI bandwidth
+  double latency_ns = 1500.0;    // per-message (rendezvous) latency
+};
+
+/// The node interconnect of a 2012-era cluster (QDR InfiniBand, the fabric
+/// behind the paper's testbed generation).
+const NetworkSpec& node_interconnect();
+
+/// Cost of one halo exchange on one rank: `nmessages` point-to-point
+/// messages moving `bytes` payload in total. Zero messages cost nothing.
+double halo_exchange_ns(const NetworkSpec& net, std::size_t bytes,
+                        int nmessages);
+
+/// Cost of an allreduce over `nranks` ranks moving `bytes` payload per rank:
+/// a latency tree of depth ceil(log2 P), each level shipping the payload
+/// both ways. One rank is free (no communication).
+double allreduce_ns(const NetworkSpec& net, std::size_t bytes, int nranks);
+
+}  // namespace tl::sim

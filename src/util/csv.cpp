@@ -4,6 +4,40 @@
 
 namespace tl::util {
 
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';  // escaped quote
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (quoted) {
+    throw std::runtime_error("parse_csv_line: unterminated quoted cell");
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
     : path_(path), out_(path), columns_(columns.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);

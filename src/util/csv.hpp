@@ -1,12 +1,20 @@
 #pragma once
-// Minimal CSV writer for benchmark outputs. Every figure bench emits both a
-// console table and a CSV file so the results can be re-plotted.
+// Minimal CSV writer (benchmark outputs) and line parser (golden loaders,
+// CSV diffing). Every figure bench emits both a console table and a CSV file
+// so the results can be re-plotted.
 
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tl::util {
+
+/// Splits one CSV line into cells, inverting CsvWriter::escape (RFC 4180):
+/// commas inside double-quoted cells are literal, `""` inside a quoted cell
+/// is one quote, and one trailing '\r' (CRLF files) is dropped before
+/// parsing. Throws std::runtime_error on an unterminated quoted cell.
+std::vector<std::string> parse_csv_line(std::string_view line);
 
 class CsvWriter {
  public:

@@ -28,7 +28,15 @@ IniConfig IniConfig::parse(const std::string& text) {
       if (pos != std::string::npos) line = trim(line.substr(0, pos));
     }
     if (line.empty()) continue;
-    if (line.front() == '[' && line.back() == ']') continue;  // section: flat
+    if (line.front() == '[') {
+      // Sections carry no meaning (the config is flat) but a header missing
+      // its closing bracket is a typo, not a bare flag named "[x".
+      if (line.back() != ']') {
+        throw std::runtime_error(
+            strf("IniConfig: unterminated section header line %d", lineno));
+      }
+      continue;
+    }
 
     if (starts_with(to_lower(line), "state ")) {
       StateLine st;

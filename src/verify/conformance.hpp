@@ -30,6 +30,14 @@ struct VerifyOptions {
   int steps = 1;
   std::uint64_t seed = 7;
 
+  /// MiniComm ranks for the port solves. 1 checks the classic single-chunk
+  /// path; R > 1 runs every cell through dist::DistributedDriver on an
+  /// R-rank block decomposition and compares against the same single-rank
+  /// reference under ToleranceSpec::distributed — the R-rank vs 1-rank
+  /// agreement contract of DESIGN.md §8. Replay checks are skipped (the
+  /// phantom replay models a single chunk).
+  int ranks = 1;
+
   /// Assert the live port's simulated clock against the analytic replay
   /// (only meaningful for steps == 1; skipped otherwise).
   bool check_replay = true;

@@ -96,11 +96,8 @@ std::vector<GoldenRecord> load_golden(const std::string& path) {
   constexpr std::size_t kFields = std::size(kColumns);
   std::vector<GoldenRecord> records;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::vector<std::string> cells;
-    std::stringstream ss(line);
-    std::string cell;
-    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> cells = util::parse_csv_line(line);
     if (cells.size() != kFields) {
       throw std::runtime_error(
           util::strf("golden: malformed row in %s (%zu cells, expected %zu)",

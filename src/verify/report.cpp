@@ -64,6 +64,11 @@ std::string json_escape(std::string_view s) {
 
 std::string format_matrix(const ConformanceReport& report) {
   std::ostringstream os;
+  if (report.options.ranks > 1) {
+    os << "distributed: " << report.options.ranks
+       << "-rank decomposed solves vs the 1-rank reference "
+          "(ToleranceSpec::distributed)\n\n";
+  }
   for (const sim::DeviceId device : sim::kAllDevices) {
     if (report.options.only_device && *report.options.only_device != device) {
       continue;
@@ -117,6 +122,7 @@ std::string to_json(const ConformanceReport& report) {
   os << "{\"schema\":\"tl-verify-1\"";
   os << ",\"options\":{\"nx\":" << report.options.nx
      << ",\"steps\":" << report.options.steps
+     << ",\"ranks\":" << report.options.ranks
      << ",\"seed\":" << report.options.seed << ",\"check_replay\":"
      << (report.options.check_replay ? "true" : "false")
      << ",\"golden_path\":\"" << json_escape(report.options.golden_path)

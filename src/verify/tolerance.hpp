@@ -81,6 +81,14 @@ class ToleranceSpec {
   /// Documented defaults for `solver` with convergence threshold `eps`.
   static ToleranceSpec defaults(core::SolverKind solver, double eps = 1e-15);
 
+  /// R-rank vs 1-rank bounds (DESIGN.md §8): the decomposed solve reduces
+  /// per-tile partials before a deterministic rank-ordered allreduce, so
+  /// every dot product reassociates relative to the single-chunk run and the
+  /// histories drift apart by accumulated rounding. Control flow may slip by
+  /// an iteration near convergence (the residual crosses eps on a different
+  /// side of the rounding), hence small absolute slack on the counts.
+  static ToleranceSpec distributed(core::SolverKind solver, double eps = 1e-15);
+
   const Tolerance& operator[](Metric m) const;
   Tolerance& operator[](Metric m);
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
@@ -11,6 +12,7 @@
 #include "comm/halo.hpp"
 #include "comm/minimpi.hpp"
 #include "util/buffer.hpp"
+#include "util/rng.hpp"
 
 namespace c = tl::comm;
 using tl::util::Buffer;
@@ -148,6 +150,93 @@ TEST(MiniComm, ManyRanksStress) {
   });
 }
 
+TEST(MiniComm, OrderPreservedPerSourceUnderInterleaving) {
+  // FIFO holds per (source, dest, tag) even when two senders race: rank 2
+  // drains each source in turn and must see each source's sequence in order,
+  // whatever the arrival interleaving was.
+  constexpr int kMessages = 32;
+  c::run_ranks(3, [](c::Communicator& comm) {
+    if (comm.rank() < 2) {
+      for (int i = 0; i < kMessages; ++i) {
+        const double v[1] = {100.0 * comm.rank() + i};
+        comm.send(v, 2, 9);
+      }
+    } else {
+      for (int src = 0; src < 2; ++src) {
+        for (int i = 0; i < kMessages; ++i) {
+          double v[1];
+          comm.recv(v, src, 9);
+          EXPECT_DOUBLE_EQ(v[0], 100.0 * src + i)
+              << "source " << src << " message " << i;
+        }
+      }
+    }
+  });
+}
+
+TEST(MiniComm, MismatchedTagsTimeOutInsteadOfDeadlocking) {
+  // A sendrecv pair that disagrees on the tag would block forever in a real
+  // MPI run. The World's recv-timeout deadlock guard turns it into a thrown
+  // std::runtime_error naming the stuck (source, tag) wait.
+  try {
+    c::run_ranks(
+        2,
+        [](c::Communicator& comm) {
+          double buf[1] = {static_cast<double>(comm.rank())};
+          const int tag = comm.rank() == 0 ? 1 : 2;  // the bug under test
+          comm.sendrecv(buf, 1 - comm.rank(), buf, 1 - comm.rank(), tag);
+        },
+        std::chrono::milliseconds{250});
+    FAIL() << "mismatched tags should have timed out";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << "unexpected error: " << e.what();
+  }
+}
+
+TEST(MiniComm, AllreduceMatchesSerialReduction) {
+  // The reduction is deterministic (accumulated in rank order 0..P-1), so a
+  // serial fold over the same values must agree bit-for-bit — this is what
+  // makes R-rank vs 1-rank solver comparisons meaningful.
+  constexpr int kRanks = 5;
+  tl::util::Rng rng(20260806);
+  double vals[kRanks];
+  for (double& v : vals) v = rng.uniform(-10.0, 10.0);
+
+  double sum = vals[0], mn = vals[0], mx = vals[0];
+  for (int r = 1; r < kRanks; ++r) {
+    sum += vals[r];
+    mn = std::min(mn, vals[r]);
+    mx = std::max(mx, vals[r]);
+  }
+
+  c::run_ranks(kRanks, [&](c::Communicator& comm) {
+    const double v = vals[comm.rank()];
+    EXPECT_EQ(comm.allreduce(v, c::Communicator::ReduceOp::kSum), sum);
+    EXPECT_EQ(comm.allreduce(v, c::Communicator::ReduceOp::kMin), mn);
+    EXPECT_EQ(comm.allreduce(v, c::Communicator::ReduceOp::kMax), mx);
+  });
+}
+
+TEST(MiniComm, BarrierUnderContention) {
+  // Many rounds of increment-barrier-check with all ranks hammering the same
+  // counters. Runs under the TSan CI leg, which is the real assertion here.
+  constexpr int kRanks = 8;
+  constexpr int kRounds = 50;
+  std::atomic<int> arrived[kRounds];
+  for (auto& a : arrived) a.store(0);
+  std::atomic<bool> ok{true};
+  c::run_ranks(kRanks, [&](c::Communicator& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      arrived[round].fetch_add(1);
+      comm.barrier();
+      if (arrived[round].load() != kRanks) ok = false;
+      comm.barrier();
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
 // ---------------------------------------------------------------------------
 // BlockDecomposition
 // ---------------------------------------------------------------------------
@@ -197,6 +286,136 @@ TEST(Decomposition, InvalidArgumentsThrow) {
   EXPECT_THROW(c::BlockDecomposition(0, 4, 1), std::invalid_argument);
   EXPECT_THROW(c::BlockDecomposition(4, 4, 0), std::invalid_argument);
   EXPECT_THROW(c::BlockDecomposition(2, 2, 64), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// BlockDecomposition: randomized properties
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Draws a random (nx, ny, nranks) triple for which a decomposition exists,
+/// i.e. some factorisation px*py == nranks fits px <= nx, py <= ny.
+struct DecompCase {
+  int nx, ny, nranks;
+};
+
+DecompCase draw_decomp_case(tl::util::Rng& rng) {
+  for (;;) {
+    const int nx = 1 + static_cast<int>(rng.next_below(200));
+    const int ny = 1 + static_cast<int>(rng.next_below(200));
+    const int nranks = 1 + static_cast<int>(rng.next_below(16));
+    for (int px = 1; px <= nranks; ++px) {
+      if (nranks % px == 0 && px <= nx && nranks / px <= ny) {
+        return {nx, ny, nranks};
+      }
+    }
+  }
+}
+}  // namespace
+
+TEST(DecompositionProperty, RandomPartitionIsExact) {
+  // Every global cell is owned by exactly one tile, for random meshes and
+  // rank counts.
+  tl::util::Rng rng(1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const DecompCase tc = draw_decomp_case(rng);
+    const c::BlockDecomposition d(tc.nx, tc.ny, tc.nranks);
+    std::vector<int> cover(static_cast<std::size_t>(tc.nx) * tc.ny, 0);
+    for (const auto& t : d.tiles()) {
+      EXPECT_GT(t.nx(), 0);
+      EXPECT_GT(t.ny(), 0);
+      for (int y = t.y_begin; y < t.y_end; ++y) {
+        for (int x = t.x_begin; x < t.x_end; ++x) ++cover[y * tc.nx + x];
+      }
+    }
+    for (const int n : cover) {
+      ASSERT_EQ(n, 1) << tc.nx << "x" << tc.ny << " over " << tc.nranks;
+    }
+  }
+}
+
+TEST(DecompositionProperty, NeighbourLinksAreSymmetricAndAdjacent) {
+  tl::util::Rng rng(2);
+  const c::Face opposite[4] = {c::Face::kRight, c::Face::kLeft, c::Face::kTop,
+                               c::Face::kBottom};
+  for (int trial = 0; trial < 60; ++trial) {
+    const DecompCase tc = draw_decomp_case(rng);
+    const c::BlockDecomposition d(tc.nx, tc.ny, tc.nranks);
+    for (const auto& t : d.tiles()) {
+      for (const c::Face f : c::kAllFaces) {
+        if (!t.has_neighbour(f)) continue;
+        const auto& n = d.tile(t.neighbour_of(f));
+        ASSERT_EQ(n.neighbour_of(opposite[static_cast<std::size_t>(f)]),
+                  t.rank)
+            << "asymmetric link " << tc.nx << "x" << tc.ny << "/" << tc.nranks;
+        // Shared faces must actually abut and span the same interval.
+        switch (f) {
+          case c::Face::kLeft:
+            ASSERT_EQ(n.x_end, t.x_begin);
+            break;
+          case c::Face::kRight:
+            ASSERT_EQ(n.x_begin, t.x_end);
+            break;
+          case c::Face::kBottom:
+            ASSERT_EQ(n.y_end, t.y_begin);
+            break;
+          case c::Face::kTop:
+            ASSERT_EQ(n.y_begin, t.y_end);
+            break;
+        }
+        if (f == c::Face::kLeft || f == c::Face::kRight) {
+          ASSERT_EQ(n.y_begin, t.y_begin);
+          ASSERT_EQ(n.y_end, t.y_end);
+        } else {
+          ASSERT_EQ(n.x_begin, t.x_begin);
+          ASSERT_EQ(n.x_end, t.x_end);
+        }
+      }
+    }
+  }
+}
+
+TEST(DecompositionProperty, ChosenGridMinimisesSurface) {
+  // The documented objective: among all factorisations px*py == nranks that
+  // fit the mesh, the chosen grid minimises the exchanged surface
+  // px*ny + py*nx.
+  tl::util::Rng rng(3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const DecompCase tc = draw_decomp_case(rng);
+    const c::BlockDecomposition d(tc.nx, tc.ny, tc.nranks);
+    const double chosen = static_cast<double>(d.grid_x()) * tc.ny +
+                          static_cast<double>(d.grid_y()) * tc.nx;
+    EXPECT_EQ(d.grid_x() * d.grid_y(), tc.nranks);
+    for (int px = 1; px <= tc.nranks; ++px) {
+      if (tc.nranks % px != 0) continue;
+      const int py = tc.nranks / px;
+      if (px > tc.nx || py > tc.ny) continue;
+      const double cost =
+          static_cast<double>(px) * tc.ny + static_cast<double>(py) * tc.nx;
+      ASSERT_LE(chosen, cost)
+          << "grid " << d.grid_x() << "x" << d.grid_y() << " beaten by " << px
+          << "x" << py << " on " << tc.nx << "x" << tc.ny;
+    }
+  }
+}
+
+TEST(DecompositionProperty, RandomInvalidArgumentsThrow) {
+  tl::util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int good = 1 + static_cast<int>(rng.next_below(50));
+    const int bad = -static_cast<int>(rng.next_below(10));
+    EXPECT_THROW(c::BlockDecomposition(bad, good, 1), std::invalid_argument);
+    EXPECT_THROW(c::BlockDecomposition(good, bad, 1), std::invalid_argument);
+    EXPECT_THROW(c::BlockDecomposition(good, good, bad),
+                 std::invalid_argument);
+    // More ranks than cells can never be tiled.
+    EXPECT_THROW(
+        c::BlockDecomposition(good, good, good * good + 1 +
+                                              static_cast<int>(rng.next_below(8))),
+        std::invalid_argument);
+  }
+  // A prime rank count taller than the mesh has no fitting factorisation.
+  EXPECT_THROW(c::BlockDecomposition(1, 1, 2), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
@@ -322,5 +541,51 @@ TEST(Halo, BadDepthThrows) {
     c::HaloExchanger ex(decomp, 0, 2);
     EXPECT_THROW(ex.exchange(comm, s, 3, 0), std::invalid_argument);
     EXPECT_THROW(ex.exchange(comm, s, 0, 0), std::invalid_argument);
+  });
+}
+
+TEST(Halo, RandomisedExchangeMatchesGlobalBothDepths) {
+  // Property form of the round-trip check: random mesh shapes and rank
+  // counts, both supported depths. Covers corner fills (x-then-y ordering),
+  // interior tiles with four neighbours, and tiles whose physical faces are
+  // reflected rather than exchanged.
+  tl::util::Rng rng(5);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int gnx = 8 + static_cast<int>(rng.next_below(17));
+    const int gny = 8 + static_cast<int>(rng.next_below(17));
+    const int nranks = 1 + static_cast<int>(rng.next_below(6));
+    const int depth = 1 + static_cast<int>(rng.next_below(2));
+    check_distributed_halo(gnx, gny, nranks, /*h=*/2, depth);
+  }
+}
+
+TEST(Halo, NineRankInteriorTileAllFaces) {
+  // 3x3 grid: the centre tile exchanges on all four faces and reflects none.
+  check_distributed_halo(24, 24, 9, /*h=*/2, /*depth=*/2);
+}
+
+TEST(Halo, ExchangeIsIdempotentOnConsistentField) {
+  // Once halos agree with their owners, a second exchange (same depth) must
+  // be a fixed point: pack/unpack round-trips the same values byte-for-byte.
+  const int gnx = 16, gny = 12, h = 2, ranks = 4;
+  const c::BlockDecomposition decomp(gnx, gny, ranks);
+  c::run_ranks(ranks, [&](c::Communicator& comm) {
+    const c::Tile& tile = decomp.tile(comm.rank());
+    const int w = tile.nx() + 2 * h;
+    const int ht = tile.ny() + 2 * h;
+    Buffer<double> local(static_cast<std::size_t>(w) * ht);
+    auto lspan = local.view2d(w, ht);
+    for (int y = h; y < h + tile.ny(); ++y) {
+      for (int x = h; x < h + tile.nx(); ++x) {
+        lspan(x, y) = 7.0 * (tile.x_begin + x) - 1.3 * (tile.y_begin + y);
+      }
+    }
+    c::HaloExchanger ex(decomp, comm.rank(), h);
+    ex.exchange(comm, lspan, 2, /*tag=*/11);
+    const Buffer<double> snapshot = local;  // deep copy
+    ex.exchange(comm, lspan, 2, /*tag=*/12);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      ASSERT_EQ(local.data()[i], snapshot.data()[i]) << "cell " << i;
+    }
   });
 }

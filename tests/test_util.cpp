@@ -272,6 +272,55 @@ TEST(Ini, TypeErrorsThrow) {
   EXPECT_THROW(cfg.get_double_or("k", 0.0), std::runtime_error);
 }
 
+TEST(Ini, EmptyAndWhitespaceOnlyInputsParse) {
+  for (const char* text : {"", "\n", "\n\n\n", "   \n\t\n", "! only\n# here\n"}) {
+    const auto cfg = u::IniConfig::parse(text);
+    EXPECT_FALSE(cfg.has("anything")) << "input: '" << text << "'";
+    EXPECT_TRUE(cfg.states().empty());
+  }
+}
+
+TEST(Ini, CrlfInputParsesSameAsLf) {
+  // tea.in files written on Windows end lines with \r\n; the parser must not
+  // leave the \r glued onto values or flag names.
+  const auto lf = u::IniConfig::parse("x_cells=128\ntl_use_cg\ntl_eps=1e-12\n");
+  const auto crlf =
+      u::IniConfig::parse("x_cells=128\r\ntl_use_cg\r\ntl_eps=1e-12\r\n");
+  EXPECT_EQ(crlf.get_long_or("x_cells", 0), lf.get_long_or("x_cells", 0));
+  EXPECT_EQ(crlf.get_bool_or("tl_use_cg", false),
+            lf.get_bool_or("tl_use_cg", false));
+  EXPECT_DOUBLE_EQ(crlf.get_double_or("tl_eps", 0.0),
+                   lf.get_double_or("tl_eps", 0.0));
+}
+
+TEST(Ini, SectionHeadersAreIgnoredButUnterminatedOnesThrow) {
+  const auto cfg = u::IniConfig::parse("[header]\nx=1\n[another]\ny=2\n");
+  EXPECT_EQ(cfg.get_long_or("x", 0), 1);
+  EXPECT_EQ(cfg.get_long_or("y", 0), 2);
+  EXPECT_THROW(u::IniConfig::parse("[oops\nx=1\n"), std::runtime_error);
+  EXPECT_THROW(u::IniConfig::parse("x=1\n[tail"), std::runtime_error);
+}
+
+TEST(Ini, RandomGarbageEitherParsesOrThrows) {
+  // Fuzz sanity: arbitrary byte soup must never crash or hang — every line
+  // either lands as a key/flag/state or raises std::runtime_error.
+  u::Rng rng(99);
+  const char alphabet[] = "ab=[] \t!#\r\nstate 0123.";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const std::size_t len = rng.next_below(80);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    }
+    try {
+      const auto cfg = u::IniConfig::parse(text);
+      (void)cfg;
+    } catch (const std::runtime_error&) {
+      // Acceptable: malformed state lines / section headers report as errors.
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // cli
 // ---------------------------------------------------------------------------
@@ -389,5 +438,60 @@ TEST(Csv, RowWidthMismatchThrows) {
                            "tlm_test_csv2.csv";
   u::CsvWriter csv(path, {"a"});
   EXPECT_THROW(csv.row({"1", "2"}), std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ParseLineSplitsPlainCells) {
+  EXPECT_EQ(u::parse_csv_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(u::parse_csv_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(u::parse_csv_line(",x,"),
+            (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(Csv, ParseLineHandlesQuotedCommasAndEscapedQuotes) {
+  EXPECT_EQ(u::parse_csv_line("\"x,y\",\"pla\"\"in\""),
+            (std::vector<std::string>{"x,y", "pla\"in"}));
+  EXPECT_EQ(u::parse_csv_line("\"a\nb\""),  // embedded newline survives
+            (std::vector<std::string>{"a\nb"}));
+}
+
+TEST(Csv, ParseLineDropsOneTrailingCarriageReturn) {
+  EXPECT_EQ(u::parse_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+  // Only the CRLF artefact goes; an interior \r is cell data.
+  EXPECT_EQ(u::parse_csv_line("a\rb"), (std::vector<std::string>{"a\rb"}));
+}
+
+TEST(Csv, ParseLineUnterminatedQuoteThrows) {
+  EXPECT_THROW(u::parse_csv_line("\"never closed"), std::runtime_error);
+  EXPECT_THROW(u::parse_csv_line("ok,\"half"), std::runtime_error);
+}
+
+TEST(Csv, WriterAndParserRoundTripRandomCells) {
+  // Fuzz the writer-escape / parser-unescape pair: any newline-free cell
+  // content (commas, quotes, spaces) must survive a write-then-parse cycle.
+  u::Rng rng(123);
+  const char alphabet[] = "ab,\", x";
+  const std::string path =
+      std::filesystem::temp_directory_path() / "tlm_test_csv_fuzz.csv";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::string> cells(3);
+    for (std::string& cell : cells) {
+      const std::size_t len = rng.next_below(10);
+      for (std::size_t i = 0; i < len; ++i) {
+        cell += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+      }
+    }
+    {
+      u::CsvWriter csv(path, {"c1", "c2", "c3"});
+      csv.row(cells);
+    }
+    std::ifstream in(path);
+    std::string header, row;
+    std::getline(in, header);
+    std::getline(in, row);
+    ASSERT_EQ(u::parse_csv_line(row), cells)
+        << "raw row: " << row;
+  }
   std::filesystem::remove(path);
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/cli.hpp"
+#include "util/csv.hpp"
 #include "util/string_util.hpp"
 
 using namespace tl;
@@ -29,8 +30,7 @@ std::vector<std::vector<std::string>> read_csv(const std::string& path) {
   std::vector<std::vector<std::string>> rows;
   std::string line;
   while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    rows.push_back(util::split(line, ','));
+    rows.push_back(util::parse_csv_line(line));
   }
   return rows;
 }

@@ -1,6 +1,6 @@
 // tl_verify: the cross-model conformance checker CLI.
 //
-//   tl_verify [--nx 40] [--steps 1] [--seed 7]
+//   tl_verify [--nx 40] [--steps 1] [--seed 7] [--ranks R]
 //             [--solver cg|cheby|ppcg|jacobi|all]
 //             [--model ID] [--device cpu|gpu|knc]
 //             [--golden FILE] [--regen-golden FILE]
@@ -13,7 +13,9 @@
 // kernels themselves to the committed baselines; `--regen-golden FILE`
 // rewrites the baselines (a deliberate, reviewed act — see DESIGN.md §7).
 // `--perturb KERNEL` corrupts one reference kernel to prove the checker
-// fails when it should.
+// fails when it should. `--ranks R` (R > 1) runs every cell decomposed over
+// R MiniComm ranks and asserts agreement with the 1-rank reference
+// (DESIGN.md §8).
 
 #include <cstdio>
 #include <fstream>
@@ -56,6 +58,11 @@ int main(int argc, char** argv) {
   opt.nx = static_cast<int>(cli.get_long_or("nx", opt.nx));
   opt.steps = static_cast<int>(cli.get_long_or("steps", opt.steps));
   opt.seed = static_cast<std::uint64_t>(cli.get_long_or("seed", 7));
+  opt.ranks = static_cast<int>(cli.get_long_or("ranks", opt.ranks));
+  if (opt.ranks < 1) {
+    std::fprintf(stderr, "tl_verify: --ranks must be >= 1\n");
+    return 2;
+  }
   opt.check_replay = !cli.has("no-replay");
   opt.golden_path = cli.get_or("golden", "");
   opt.perturb_kernel = cli.get_or("perturb", "");
@@ -109,8 +116,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("tl_verify: %dx%d mesh, %d step(s), seed %llu%s\n\n", opt.nx,
-              opt.nx, opt.steps,
+  std::printf("tl_verify: %dx%d mesh, %d step(s), %d rank(s), seed %llu%s\n\n",
+              opt.nx, opt.nx, opt.steps, opt.ranks,
               static_cast<unsigned long long>(opt.seed),
               opt.perturb_kernel.empty()
                   ? ""
