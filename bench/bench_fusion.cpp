@@ -1,0 +1,246 @@
+// bench_fusion: fused vs unfused kernel pipelines, simulated and measured.
+//
+// Two legs:
+//   1. Simulated: every figure model on the paper's CPU (fig8) and GPU
+//      (fig9) devices runs each solver twice through the phantom metering
+//      pipeline — once with the classic kernel sequence (use_fused off) and
+//      once with the caps()-dispatched fused pipeline — and the per-cell
+//      runtime/bandwidth pairs land in fig_fusion.csv plus the
+//      machine-readable BENCH_fusion.json (both golden-diffed in CI; only
+//      deterministic simulated numbers are written). Exits nonzero if ANY
+//      cell's fused simulated runtime is slower than its unfused runtime.
+//   2. Measured: real wall-clock CG solves on the reference host kernels at
+//      512^2 with a fixed iteration budget, best of three runs per pipeline.
+//      Exits nonzero if the fused path is below the 1.2x speedup gate.
+//      Wall-clock numbers are machine-dependent and are reported on stdout
+//      only, never in the golden-diffed artifacts.
+//
+// Flags:
+//   --smoke      CI fast path: short calibration ladder, 512^2 simulated
+//                mesh (CSV/JSON not comparable to the committed goldens).
+//   --sim-only   Skip the measured leg (the golden regeneration fixture uses
+//                this: golden tests must stay load-independent).
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/driver.hpp"
+#include "core/reference_kernels.hpp"
+#include "ports/registry.hpp"
+#include "sim/device.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tl;
+using core::SolverKind;
+
+constexpr std::array<SolverKind, 4> kFusionSolvers = {
+    SolverKind::kCg, SolverKind::kCheby, SolverKind::kPpcg,
+    SolverKind::kJacobi};
+
+constexpr std::array<sim::DeviceId, 2> kFusionDevices = {
+    sim::DeviceId::kCpuSandyBridge, sim::DeviceId::kGpuK20X};
+
+struct FusionCell {
+  sim::DeviceId device;
+  sim::Model model;
+  SolverKind solver;
+  bench::SolveResult unfused;
+  bench::SolveResult fused;
+
+  double speedup() const { return unfused.seconds / fused.seconds; }
+};
+
+std::vector<FusionCell> simulate(const bench::Harness& harness, int mesh) {
+  std::vector<FusionCell> cells;
+  for (const sim::DeviceId device : kFusionDevices) {
+    for (const sim::Model model : ports::figure_models(device)) {
+      for (const SolverKind solver : kFusionSolvers) {
+        FusionCell cell{device, model, solver, {}, {}};
+        cell.unfused = harness.modelled_solve(model, device, solver, mesh, 1,
+                                              nullptr, /*use_fused=*/false);
+        cell.fused = harness.modelled_solve(model, device, solver, mesh, 1,
+                                            nullptr, /*use_fused=*/true);
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+void print_tables(const std::vector<FusionCell>& cells) {
+  for (const sim::DeviceId device : kFusionDevices) {
+    std::printf("\n-- %s: simulated seconds, unfused -> fused (speedup) --\n",
+                std::string(sim::device_spec(device).name).c_str());
+    util::Table table({"Model", "CG", "Chebyshev", "PPCG", "Jacobi"});
+    for (const sim::Model model : ports::figure_models(device)) {
+      std::vector<std::string> row{std::string(sim::model_name(model))};
+      for (const SolverKind solver : kFusionSolvers) {
+        for (const FusionCell& c : cells) {
+          if (c.device == device && c.model == model && c.solver == solver) {
+            row.push_back(util::strf("%.1f -> %.1f (%.2fx)", c.unfused.seconds,
+                                     c.fused.seconds, c.speedup()));
+          }
+        }
+      }
+      table.row(std::move(row));
+    }
+    table.print();
+  }
+}
+
+void write_csv(const std::vector<FusionCell>& cells, const std::string& path) {
+  util::CsvWriter csv(path, {"device", "model", "solver", "unfused_seconds",
+                             "fused_seconds", "speedup", "unfused_gbs",
+                             "fused_gbs", "unfused_launches", "fused_launches"});
+  for (const FusionCell& c : cells) {
+    csv.row({std::string(sim::device_short_name(c.device)),
+             std::string(sim::model_id(c.model)),
+             std::string(core::solver_name(c.solver)),
+             util::strf("%.3f", c.unfused.seconds),
+             util::strf("%.3f", c.fused.seconds),
+             util::strf("%.4f", c.speedup()),
+             util::strf("%.2f", c.unfused.bandwidth_gbs),
+             util::strf("%.2f", c.fused.bandwidth_gbs),
+             util::strf("%llu",
+                        static_cast<unsigned long long>(c.unfused.launches)),
+             util::strf("%llu",
+                        static_cast<unsigned long long>(c.fused.launches))});
+  }
+  std::printf("\nCSV written to %s\n", path.c_str());
+}
+
+void write_json(const std::vector<FusionCell>& cells, int mesh,
+                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAILED to write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fusion\",\n  \"mesh\": %d,\n", mesh);
+  std::fprintf(f, "  \"gates\": {\"sim_fused_never_slower\": true, "
+                  "\"measured_cg_min_speedup\": 1.2},\n");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const FusionCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"device\": \"%s\", \"model\": \"%s\", \"solver\": \"%s\", "
+        "\"unfused_seconds\": %.3f, \"fused_seconds\": %.3f, "
+        "\"speedup\": %.4f, \"unfused_gbs\": %.2f, \"fused_gbs\": %.2f, "
+        "\"unfused_launches\": %llu, \"fused_launches\": %llu}%s\n",
+        std::string(sim::device_short_name(c.device)).c_str(),
+        std::string(sim::model_id(c.model)).c_str(),
+        std::string(core::solver_name(c.solver)).c_str(), c.unfused.seconds,
+        c.fused.seconds, c.speedup(), c.unfused.bandwidth_gbs,
+        c.fused.bandwidth_gbs,
+        static_cast<unsigned long long>(c.unfused.launches),
+        static_cast<unsigned long long>(c.fused.launches),
+        i + 1 == cells.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON written to %s\n", path.c_str());
+}
+
+/// Nonzero cell count whose fused simulated runtime regressed.
+int check_sim_gate(const std::vector<FusionCell>& cells) {
+  int regressions = 0;
+  for (const FusionCell& c : cells) {
+    if (c.fused.seconds > c.unfused.seconds) {
+      std::printf("GATE FAIL: %s/%s/%s fused %.3f s > unfused %.3f s\n",
+                  std::string(sim::device_short_name(c.device)).c_str(),
+                  std::string(sim::model_id(c.model)).c_str(),
+                  std::string(core::solver_name(c.solver)).c_str(),
+                  c.fused.seconds, c.unfused.seconds);
+      ++regressions;
+    }
+  }
+  return regressions;
+}
+
+/// Wall-clock seconds for a real CG solve on the reference host kernels:
+/// fixed iteration budget (eps is unreachable), timed around Driver::run.
+double measured_cg_seconds(bool use_fused, int mesh, int iters) {
+  core::Settings s = core::Settings::default_problem();
+  s.nx = s.ny = mesh;
+  s.solver = SolverKind::kCg;
+  s.end_step = 1;
+  s.max_iters = iters;
+  s.eps = 1e-300;  // never reached: both pipelines run the full budget
+  s.use_fused = use_fused;
+  core::Driver driver(
+      s, std::make_unique<core::ReferenceKernels>(
+             core::Mesh(s.nx, s.ny, s.halo_depth)));
+  const auto t0 = std::chrono::steady_clock::now();
+  driver.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-3 measured CG wall clock, fused vs unfused. Returns the number of
+/// failed gates (0 or 1).
+int run_measured_leg() {
+  constexpr int kMesh = 512;
+  constexpr int kIters = 50;
+  constexpr double kMinSpeedup = 1.2;
+  double unfused = 1e300, fused = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    unfused = std::min(unfused, measured_cg_seconds(false, kMesh, kIters));
+    fused = std::min(fused, measured_cg_seconds(true, kMesh, kIters));
+  }
+  const double speedup = unfused / fused;
+  std::printf("\n-- measured: reference host kernels, CG, %dx%d, %d "
+              "iterations, best of 3 --\n", kMesh, kMesh, kIters);
+  std::printf("  unfused %.3f s   fused %.3f s   speedup %.2fx "
+              "(gate: >= %.1fx)\n", unfused, fused, speedup, kMinSpeedup);
+  if (speedup < kMinSpeedup) {
+    std::printf("GATE FAIL: measured fused CG speedup %.2fx < %.1fx\n",
+                speedup, kMinSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const bool sim_only = cli.has("sim-only");
+
+  const int mesh = smoke ? bench::kSmokeMesh : bench::Harness::kConvergenceMesh;
+  std::printf("== Fusion: fused vs unfused kernel pipelines ==\n"
+              "(%dx%d simulated mesh%s; fused pipelines dispatched via "
+              "KernelCaps, identical solver logic)\n\n",
+              mesh, mesh, smoke ? " — SMOKE MODE" : "");
+
+  bench::Harness harness(smoke ? bench::smoke_ladder() : std::vector<int>{});
+  harness.print_calibration();
+
+  const std::vector<FusionCell> cells = simulate(harness, mesh);
+  print_tables(cells);
+  write_csv(cells, "fig_fusion.csv");
+  write_json(cells, mesh, "BENCH_fusion.json");
+
+  int failures = check_sim_gate(cells);
+  if (!sim_only) failures += run_measured_leg();
+
+  if (failures != 0) {
+    std::printf("\nbench_fusion: %d gate failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nbench_fusion: all gates passed (sim cells never slower; "
+              "measured CG >= 1.2x)\n");
+  return 0;
+}

@@ -47,21 +47,28 @@ int Harness::predicted_outer(SolverKind solver, int nx) const {
 SolveResult Harness::modelled_solve(sim::Model model, sim::DeviceId device,
                                     SolverKind solver, int nx,
                                     std::uint64_t run_seed,
-                                    sim::TraceSink* sink) const {
+                                    sim::TraceSink* sink,
+                                    bool use_fused) const {
   core::Settings s = proto_;
   s.nx = s.ny = nx;
   s.solver = solver;
+  s.use_fused = use_fused;
   if (solver == SolverKind::kPpcg) {
     s.ppcg_inner_steps = core::recommended_ppcg_inner_steps(nx);
   }
 
-  const int outer = predicted_outer(solver, nx);
+  const int outer = solver == SolverKind::kJacobi ? kJacobiModelledIters
+                                                  : predicted_outer(solver, nx);
   core::PhantomScript script;
   script.eps = s.eps;
   if (solver == SolverKind::kCheby) {
     script.converge_after_ur = s.cg_prep_iters;
     script.converge_after_cheby =
         std::max(1, outer - s.cg_prep_iters - 1);
+    script.converge_on_ur = false;
+  } else if (solver == SolverKind::kJacobi) {
+    script.converge_after_ur = 0;
+    script.converge_after_jacobi = outer;
     script.converge_on_ur = false;
   } else {
     script.converge_after_ur = outer;

@@ -47,10 +47,17 @@ class Harness {
   /// iterations from the calibrated fit, metered via PhantomKernels. When
   /// `sink` is non-null it receives one TraceEvent per metered
   /// launch/transfer of the solve (the result is unchanged either way).
+  /// `use_fused = false` forces the classic kernel sequence (bench_fusion
+  /// compares the two pipelines cell by cell).
   SolveResult modelled_solve(tl::sim::Model model, tl::sim::DeviceId device,
                              tl::core::SolverKind solver, int nx,
                              std::uint64_t run_seed = 1,
-                             tl::sim::TraceSink* sink = nullptr) const;
+                             tl::sim::TraceSink* sink = nullptr,
+                             bool use_fused = true) const;
+
+  /// Jacobi has no calibrated power law (it appears in no paper figure), so
+  /// modelled Jacobi solves run a fixed iteration budget instead.
+  static constexpr int kJacobiModelledIters = 200;
 
   /// The paper's headline mesh (the mesh-convergence point).
   static constexpr int kConvergenceMesh = 4096;

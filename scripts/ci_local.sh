@@ -43,6 +43,9 @@ run_leg() { # run_leg <preset> <cc> <cxx>
   mkdir -p "bench-smoke-${preset}-${cc}"
   (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fig8_cpu" --smoke >/dev/null)
   echo "smoke CSV: bench-smoke-${preset}-${cc}/fig8_cpu.csv"
+
+  note "fusion gates: bench_fusion --smoke (${preset} / ${cc})"
+  (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fusion" --smoke)
 }
 
 run_tsan() { # run_tsan <cc> <cxx>
@@ -51,8 +54,9 @@ run_tsan() { # run_tsan <cc> <cxx>
   note "leg: tsan / ${cc} (threading suites)"
   CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target tests_models tests_ports tests_verify tests_comm tests_dist
+    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_fusion"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_ports"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_verify"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_comm"

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <string_view>
+#include <utility>
 
 #include "core/mesh.hpp"
 #include "util/buffer.hpp"
@@ -64,6 +65,13 @@ class Chunk {
   tl::util::Span2D<const double> field(FieldId f) const noexcept {
     return buffers_[static_cast<std::size_t>(f)].view2d(mesh_.padded_nx(),
                                                         mesh_.padded_ny());
+  }
+
+  /// Exchanges the storage behind two fields (O(1) pointer swap). The fused
+  /// reference kernels ping-pong u through the w scratch instead of copying.
+  void swap_fields(FieldId a, FieldId b) noexcept {
+    std::swap(buffers_[static_cast<std::size_t>(a)],
+              buffers_[static_cast<std::size_t>(b)]);
   }
 
  private:

@@ -27,6 +27,20 @@ constexpr std::array kCatalog = {
     KernelCost{"jacobi_copy_u", 1, 1, 0, false, kCgSensitivity},
     KernelCost{"jacobi_iterate", 4, 1, 12, false, 0.3},
     KernelCost{"halo_update", 1, 1, 0, false, 0.0},
+    // Fused entries. Stream accounting (classic -> fused per call):
+    //   cg_calc_w_fused      w(3r,1w) + one extra dot (conjugacy supplies
+    //                        r.w = p.w, so r is never streamed)  -> 3r,1w
+    //   cg_fused_ur_p        ur(4r,2w) + p(2r,1w) = 9 streams -> 4r,3w = 7
+    //   fused_residual_norm  residual(4r,1w) + 2norm(1r)      -> 4r,1w
+    //   cheby_fused_iterate  7r,3w                            -> 5r,3w
+    //   ppcg_fused_inner     7r,3w                            -> 5r,3w
+    //   jacobi_fused         copy(1r,1w) + iterate(4r,1w)     -> 4r,1w
+    KernelCost{"cg_calc_w_fused", 3, 1, 15, true, kCgSensitivity},
+    KernelCost{"cg_fused_ur_p", 4, 3, 8, true, kCgSensitivity},
+    KernelCost{"fused_residual_norm", 4, 1, 15, true, kCgSensitivity},
+    KernelCost{"cheby_fused_iterate", 5, 3, 18, false, kFusedSensitivity},
+    KernelCost{"ppcg_fused_inner", 5, 3, 18, false, 0.25},
+    KernelCost{"jacobi_fused_copy_iterate", 4, 1, 12, false, 0.3},
 };
 }  // namespace
 
@@ -53,6 +67,12 @@ std::string_view kernel_phase(KernelId id) {
     case KernelId::kJacobiCopyU:
     case KernelId::kJacobiIterate: return "jacobi";
     case KernelId::kHaloUpdate: return "halo";
+    case KernelId::kCgCalcWFused:
+    case KernelId::kCgFusedUrP: return "cg";
+    case KernelId::kFusedResidualNorm: return "shared";
+    case KernelId::kChebyFusedIterate: return "cheby";
+    case KernelId::kPpcgFusedInner: return "ppcg";
+    case KernelId::kJacobiFusedCopyIterate: return "jacobi";
   }
   return "kernel";
 }

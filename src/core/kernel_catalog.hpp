@@ -36,6 +36,15 @@ enum class KernelId {
   kJacobiCopyU,   // w = u (previous iterate)
   kJacobiIterate, // u = (u0 + sum k * w_neighbours) / diag
   kHaloUpdate,    // boundary reflection / exchange of one field
+  // Fused variants (KernelCaps-gated). Appended after kHaloUpdate so the
+  // classic ids keep their values; each entry prices the *fused* stream
+  // counts, which is where the simulated bandwidth win comes from.
+  kCgCalcWFused,           // w = A p; pw, r.w, w.w                [reduction]
+  kCgFusedUrP,             // u += a p; r -= a w; p = r + b p; rrn [reduction]
+  kFusedResidualNorm,      // r = u0 - A u; rr = r.r               [reduction]
+  kChebyFusedIterate,      // cheby_iterate, single sweep      [vector-critical]
+  kPpcgFusedInner,         // ppcg_inner, single sweep         [vector-critical]
+  kJacobiFusedCopyIterate, // jacobi copy+iterate without the copy stream
 };
 
 struct KernelCost {

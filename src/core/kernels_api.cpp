@@ -1,8 +1,43 @@
 #include "core/kernels_api.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace tl::core {
+
+namespace {
+
+[[noreturn]] void fused_not_advertised(const char* which) {
+  throw std::logic_error(std::string("SolverKernels::") + which +
+                         ": fused kernel called on a port whose caps() does "
+                         "not advertise it");
+}
+
+}  // namespace
+
+CgFusedW SolverKernels::cg_calc_w_fused() {
+  fused_not_advertised("cg_calc_w_fused");
+}
+
+double SolverKernels::cg_fused_ur_p(double, double) {
+  fused_not_advertised("cg_fused_ur_p");
+}
+
+double SolverKernels::fused_residual_norm() {
+  fused_not_advertised("fused_residual_norm");
+}
+
+void SolverKernels::cheby_fused_iterate(double, double) {
+  fused_not_advertised("cheby_fused_iterate");
+}
+
+void SolverKernels::ppcg_fused_inner(double, double) {
+  fused_not_advertised("ppcg_fused_inner");
+}
+
+void SolverKernels::jacobi_fused_copy_iterate() {
+  fused_not_advertised("jacobi_fused_copy_iterate");
+}
 
 tl::util::Span2D<double> SolverKernels::field_view(FieldId) {
   throw std::logic_error(

@@ -39,6 +39,31 @@ struct FieldSummary {
 /// What calc_2norm measures.
 enum class NormTarget { kResidual, kRhs };
 
+/// Optional fused-kernel capabilities a port can advertise (bitmask returned
+/// by SolverKernels::caps()). The solver drivers dispatch a fused path only
+/// when the corresponding bit is set and fall back to the classic kernel
+/// sequence otherwise, so a port that advertises nothing keeps working
+/// unchanged.
+enum KernelCaps : unsigned {
+  kCapCgFused = 1u << 0,        // cg_calc_w_fused + cg_fused_ur_p
+  kCapResidualNorm = 1u << 1,   // fused_residual_norm
+  kCapChebyFused = 1u << 2,     // cheby_fused_iterate
+  kCapPpcgFused = 1u << 3,      // ppcg_fused_inner
+  kCapJacobiFused = 1u << 4,    // jacobi_fused_copy_iterate
+};
+inline constexpr unsigned kAllKernelCaps = kCapCgFused | kCapResidualNorm |
+                                           kCapChebyFused | kCapPpcgFused |
+                                           kCapJacobiFused;
+
+/// The two dot products a fused w = A p sweep produces in one pass. The
+/// solver also needs r.w to predict the next residual norm, but CG's
+/// conjugacy gives it for free: p = r + beta p_old with p_old.w = 0, so
+/// r.w = p.w exactly — the sweep never has to stream r.
+struct CgFusedW {
+  double pw = 0.0;  // p . A p  (equals r . A p by conjugacy)
+  double ww = 0.0;  // A p . A p
+};
+
 class SolverKernels {
  public:
   virtual ~SolverKernels() = default;
@@ -92,6 +117,37 @@ class SolverKernels {
   virtual void jacobi_copy_u() = 0;
   /// u = (u0 + kx(x+1) w(x+1) + kx w(x-1) + ky(y+1) w(y+1) + ky w(y-1)) / diag.
   virtual void jacobi_iterate() = 0;
+
+  // -- Fused kernels (optional; gated by caps()) -----------------------------
+  // Each fused method is algebraically identical to a fixed sequence of the
+  // classic kernels above but streams the fields fewer times. The defaults
+  // throw: the solver must never call one unless the matching caps() bit is
+  // advertised (tests/test_fusion.cpp asserts exactly that).
+
+  /// Bitmask of KernelCaps this port supports. Default: none.
+  virtual unsigned caps() const { return 0; }
+
+  /// w = A p, returning p.w plus the extra dot w.w that lets the solver
+  /// predict rrn before updating r (one sweep instead of sweep + two extra
+  /// reduction passes).
+  virtual CgFusedW cg_calc_w_fused();
+
+  /// u += alpha p; r -= alpha w; p = r + beta_prev p, in one sweep.
+  /// Returns rrn = r.r (the directly summed norm of the new residual).
+  virtual double cg_fused_ur_p(double alpha, double beta_prev);
+
+  /// r = u0 - A u and rr = r.r in one pass (calc_residual + calc_2norm).
+  virtual double fused_residual_norm();
+
+  /// cheby_iterate's three logical sweeps (residual, p-recurrence, u-update)
+  /// collapsed so each field is streamed once.
+  virtual void cheby_fused_iterate(double alpha, double beta);
+
+  /// ppcg_inner's sweeps (u/r update + sd recurrence) fused likewise.
+  virtual void ppcg_fused_inner(double alpha, double beta);
+
+  /// jacobi_copy_u + jacobi_iterate without materialising the copy sweep.
+  virtual void jacobi_fused_copy_iterate();
 
   // -- Results / instrumentation -------------------------------------------
   /// Copies the current solution u into `out` (padded layout). For offload

@@ -79,6 +79,35 @@ void PhantomKernels::cheby_iterate(double, double) {
   ++cheby_calls_;
 }
 
+CgFusedW PhantomKernels::cg_calc_w_fused() {
+  charge(KernelId::kCgCalcWFused);
+  // With rro = 1 these give alpha = 1 and predicted rrn = 1^2 * 2 - 1 = 1,
+  // so beta = 1: the same Lanczos inputs as the classic scripted replay.
+  return CgFusedW{1.0, 2.0};
+}
+
+double PhantomKernels::cg_fused_ur_p(double, double) {
+  charge(KernelId::kCgFusedUrP);
+  ++ur_calls_;
+  if (script_.converge_on_ur && converged()) return script_.eps * 0.25;
+  return 1.0;
+}
+
+double PhantomKernels::fused_residual_norm() {
+  charge(KernelId::kFusedResidualNorm);
+  return norm_value();
+}
+
+void PhantomKernels::cheby_fused_iterate(double, double) {
+  charge(KernelId::kChebyFusedIterate);
+  ++cheby_calls_;
+}
+
+void PhantomKernels::jacobi_fused_copy_iterate() {
+  charge(KernelId::kJacobiFusedCopyIterate);
+  ++jacobi_calls_;
+}
+
 void PhantomKernels::jacobi_iterate() {
   charge(KernelId::kJacobiIterate);
   ++jacobi_calls_;

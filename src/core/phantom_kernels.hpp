@@ -66,6 +66,21 @@ class PhantomKernels final : public SolverKernels {
   void ppcg_inner(double, double) override { charge(KernelId::kPpcgInner); }
   void jacobi_copy_u() override { charge(KernelId::kJacobiCopyU); }
   void jacobi_iterate() override;
+
+  // The replay must follow the same control flow as a live fused run, so the
+  // phantom advertises every capability and scripts the fused returns to
+  // reproduce the classic scripted values (pw=1, rw=0.5, ww=1 keeps the
+  // solver's predicted beta at 1, matching the classic alpha/beta=1 replay).
+  unsigned caps() const override { return kAllKernelCaps; }
+  CgFusedW cg_calc_w_fused() override;
+  double cg_fused_ur_p(double, double) override;
+  double fused_residual_norm() override;
+  void cheby_fused_iterate(double, double) override;
+  void ppcg_fused_inner(double, double) override {
+    charge(KernelId::kPpcgFusedInner);
+  }
+  void jacobi_fused_copy_iterate() override;
+
   void read_u(tl::util::Span2D<double>) override;
   void download_energy(Chunk&) override { download_energy(); }
   void download_energy();

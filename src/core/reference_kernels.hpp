@@ -5,15 +5,26 @@
 // (its clock stays at zero) and uses no programming-model API. Every port is
 // tested kernel-by-kernel against it, and the solver drivers converge with
 // it in the unit tests.
+//
+// The classic kernels stay deliberately simple (readable double loops over
+// spans). The caps()-advertised fused kernels are the measured hot path:
+// cache-blocked row tiles swept through a HostPool with raw-pointer,
+// lane-split inner loops, and reductions sliced per row and combined by a
+// pairwise tree in row order — bit-identical for any pool thread count.
+
+#include <vector>
 
 #include "core/kernels_api.hpp"
 #include "core/mesh.hpp"
+#include "models/host_pool.hpp"
 
 namespace tl::core {
 
 class ReferenceKernels final : public SolverKernels {
  public:
-  explicit ReferenceKernels(const Mesh& mesh);
+  /// `pool_threads` sizes the HostPool behind the fused sweeps; the default
+  /// keeps the oracle serial. Results do not depend on the choice.
+  explicit ReferenceKernels(const Mesh& mesh, unsigned pool_threads = 1);
 
   void upload_state(const Chunk& chunk) override;
   void init_u() override;
@@ -33,6 +44,15 @@ class ReferenceKernels final : public SolverKernels {
   void ppcg_inner(double alpha, double beta) override;
   void jacobi_copy_u() override;
   void jacobi_iterate() override;
+
+  unsigned caps() const override { return kAllKernelCaps; }
+  CgFusedW cg_calc_w_fused() override;
+  double cg_fused_ur_p(double alpha, double beta_prev) override;
+  double fused_residual_norm() override;
+  void cheby_fused_iterate(double alpha, double beta) override;
+  void ppcg_fused_inner(double alpha, double beta) override;
+  void jacobi_fused_copy_iterate() override;
+
   void read_u(tl::util::Span2D<double> out) override;
   void download_energy(Chunk& chunk) override;
   const tl::sim::SimClock& clock() const override { return clock_; }
@@ -45,9 +65,17 @@ class ReferenceKernels final : public SolverKernels {
   }
 
  private:
+  /// Row-tile height for a fused sweep touching `nfields` fields.
+  int tile_rows(int nfields) const;
+  double* data(FieldId f) { return chunk_.field(f).data(); }
+
   Mesh mesh_;
   Chunk chunk_;
   tl::sim::SimClock clock_;
+  models::HostPool pool_;
+  // Per-row reduction slots for the fused kernels (pw/rw/ww reuse all three;
+  // single-sum kernels use the first).
+  std::vector<double> row_a_, row_b_, row_c_;
 };
 
 // ---------------------------------------------------------------------------

@@ -65,6 +65,7 @@ struct Settings {
   int ppcg_inner_steps = 10;
   int check_interval = 20;  // Chebyshev true-residual check cadence
   double eigen_safety = 0.10;  // widen the estimated spectrum by this factor
+  bool use_fused = true;    // dispatch caps()-advertised fused kernels
 
   // Initial states: states[0] is the background (whole domain); later
   // entries paint rectangles over it.

@@ -19,22 +19,63 @@ EigenEstimate clamp_spectrum(EigenEstimate e) {
   return e;
 }
 
+/// True when the solver may take the fused path guarded by `cap`.
+bool want_fused(const SolverKernels& k, const SolveOptions& opt, unsigned cap) {
+  return opt.use_fused && (k.caps() & cap) != 0;
+}
+
+struct FusedCgIter {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double rrn = 0.0;
+};
+
+/// One fused CG iteration after w = A p has produced its two dot products.
+/// The next search direction needs beta *before* the single u/r/p sweep, so
+/// it is predicted from the exact expansion of the new residual norm,
+///   rr_new = rro - 2 alpha (r.w) + alpha^2 (w.w),
+/// where conjugacy turns r.w into p.w (p = r + beta p_old, p_old.w = 0) and
+/// alpha = rro / p.w collapses the whole expression to
+///   rr_new = alpha^2 (w.w) - rro,
+/// clamped at zero against cancellation near convergence (Cauchy-Schwarz
+/// guarantees the exact value is nonnegative). The sweep's directly summed
+/// r.r is the authoritative rrn used for convergence and the residual
+/// history (so the history stays a genuinely measured quantity).
+FusedCgIter fused_cg_iter(SolverKernels& k, double rro, const CgFusedW& wf) {
+  FusedCgIter s;
+  s.alpha = rro / wf.pw;
+  const double predicted = std::max(0.0, s.alpha * s.alpha * wf.ww - rro);
+  s.beta = predicted / rro;
+  s.rrn = k.cg_fused_ur_p(s.alpha, s.beta);
+  return s;
+}
+
 /// CG bootstrap shared by Chebyshev and PPCG: runs `prep` CG iterations,
 /// recording alpha/beta for the Lanczos spectrum estimate. Returns the
 /// current rr. May converge outright (tiny meshes) — stats reflect that.
 double cg_bootstrap(SolverKernels& k, const SolveOptions& opt, int prep,
                     SolveStats& stats, std::vector<double>& alphas,
                     std::vector<double>& betas) {
+  const bool fused = want_fused(k, opt, kCapCgFused);
   double rro = k.cg_init();
   stats.initial_rr = rro;
   stats.rr_history.push_back(rro);
   k.halo_update(kMaskP, 1);
   double rrn = rro;
   for (int it = 0; it < prep; ++it) {
-    const double pw = k.cg_calc_w();
-    const double alpha = rro / pw;
-    rrn = k.cg_calc_ur(alpha);
-    const double beta = rrn / rro;
+    double alpha = 0.0;
+    double beta = 0.0;
+    if (fused) {
+      const FusedCgIter s = fused_cg_iter(k, rro, k.cg_calc_w_fused());
+      alpha = s.alpha;
+      beta = s.beta;
+      rrn = s.rrn;
+    } else {
+      const double pw = k.cg_calc_w();
+      alpha = rro / pw;
+      rrn = k.cg_calc_ur(alpha);
+      beta = rrn / rro;
+    }
     alphas.push_back(alpha);
     betas.push_back(beta);
     ++stats.iterations;
@@ -45,11 +86,18 @@ double cg_bootstrap(SolverKernels& k, const SolveOptions& opt, int prep,
       stats.final_rr = rrn;
       return rrn;
     }
-    k.cg_calc_p(beta);
+    if (!fused) k.cg_calc_p(beta);  // the fused sweep already built p
     k.halo_update(kMaskP, 1);
     rro = rrn;
   }
   return rrn;
+}
+
+/// r = u0 - A u and its squared norm: one pass on ports that fuse it.
+double residual_norm(SolverKernels& k, const SolveOptions& opt) {
+  if (want_fused(k, opt, kCapResidualNorm)) return k.fused_residual_norm();
+  k.calc_residual();
+  return k.calc_2norm(NormTarget::kResidual);
 }
 
 }  // namespace
@@ -68,11 +116,19 @@ SolveStats solve_cg(SolverKernels& k, const SolveOptions& opt) {
   }
   k.halo_update(kMaskP, 1);
 
+  const bool fused = want_fused(k, opt, kCapCgFused);
   for (int it = 0; it < opt.max_iters; ++it) {
-    const double pw = k.cg_calc_w();
-    if (pw == 0.0) throw std::runtime_error("CG breakdown: p.Ap == 0");
-    const double alpha = rro / pw;
-    const double rrn = k.cg_calc_ur(alpha);
+    double rrn = 0.0;
+    if (fused) {
+      const CgFusedW wf = k.cg_calc_w_fused();
+      if (wf.pw == 0.0) throw std::runtime_error("CG breakdown: p.Ap == 0");
+      rrn = fused_cg_iter(k, rro, wf).rrn;
+    } else {
+      const double pw = k.cg_calc_w();
+      if (pw == 0.0) throw std::runtime_error("CG breakdown: p.Ap == 0");
+      const double alpha = rro / pw;
+      rrn = k.cg_calc_ur(alpha);
+    }
     ++stats.iterations;
     stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
@@ -81,8 +137,7 @@ SolveStats solve_cg(SolverKernels& k, const SolveOptions& opt) {
       stats.final_rr = rrn;
       return stats;
     }
-    const double beta = rrn / rro;
-    k.cg_calc_p(beta);
+    if (!fused) k.cg_calc_p(rrn / rro);
     k.halo_update(kMaskP, 1);
     rro = rrn;
   }
@@ -111,13 +166,20 @@ SolveStats solve_cheby(SolverKernels& k, const SolveOptions& opt) {
   k.halo_update(kMaskU, 1);
   ++stats.iterations;
 
+  const bool fused = want_fused(k, opt, kCapChebyFused);
   for (int it = 0; it < opt.max_iters && stats.iterations < opt.max_iters;
        ++it) {
-    k.cheby_iterate(coef.alphas[static_cast<std::size_t>(it)],
-                    coef.betas[static_cast<std::size_t>(it)]);
+    const double a = coef.alphas[static_cast<std::size_t>(it)];
+    const double b = coef.betas[static_cast<std::size_t>(it)];
+    if (fused) {
+      k.cheby_fused_iterate(a, b);
+    } else {
+      k.cheby_iterate(a, b);
+    }
     k.halo_update(kMaskU, 1);
     ++stats.iterations;
     if ((it + 1) % opt.check_interval == 0) {
+      // The iterate keeps r current, so the periodic check is a bare norm.
       rr = k.calc_2norm(NormTarget::kResidual);
       stats.rr_history.push_back(rr);
       if (rr < opt.eps) {
@@ -127,8 +189,7 @@ SolveStats solve_cheby(SolverKernels& k, const SolveOptions& opt) {
     }
   }
   // Authoritative final residual.
-  k.calc_residual();
-  stats.final_rr = k.calc_2norm(NormTarget::kResidual);
+  stats.final_rr = residual_norm(k, opt);
   stats.rr_history.push_back(stats.final_rr);
   stats.converged = stats.final_rr < opt.eps;
   return stats;
@@ -153,6 +214,13 @@ SolveStats solve_ppcg(SolverKernels& k, const SolveOptions& opt) {
   // The bootstrap ends after cg_calc_p/halo(p) with rro current; continue
   // the outer CG with polynomially smoothed residuals (TeaLeaf's scheme:
   // the smoothing updates u and r directly, no extra vector).
+  //
+  // The outer iteration deliberately stays on the classic kernels: beta must
+  // be recomputed from the *post-smoothing* norm before p is rebuilt, so the
+  // fused u/r/p sweep does not apply, and the extra dot products of the
+  // fused w sweep would be wasted streams. The fused win for PPCG is the
+  // bootstrap (above) and the inner smoothing (below).
+  const bool fused_inner = want_fused(k, opt, kCapPpcgFused);
   for (int it = 0; it < opt.max_iters; ++it) {
     const double pw = k.cg_calc_w();
     if (pw == 0.0) throw std::runtime_error("PPCG breakdown: p.Ap == 0");
@@ -171,8 +239,13 @@ SolveStats solve_ppcg(SolverKernels& k, const SolveOptions& opt) {
     k.ppcg_init_sd(coef.theta);
     k.halo_update(kMaskSd, 1);
     for (int j = 0; j < opt.ppcg_inner_steps; ++j) {
-      k.ppcg_inner(coef.alphas[static_cast<std::size_t>(j)],
-                   coef.betas[static_cast<std::size_t>(j)]);
+      const double a = coef.alphas[static_cast<std::size_t>(j)];
+      const double b = coef.betas[static_cast<std::size_t>(j)];
+      if (fused_inner) {
+        k.ppcg_fused_inner(a, b);
+      } else {
+        k.ppcg_inner(a, b);
+      }
       k.halo_update(kMaskSd, 1);
       ++stats.inner_iterations;
     }
@@ -199,8 +272,7 @@ SolveStats solve_jacobi(SolverKernels& k, const SolveOptions& opt) {
   SolveStats stats;
   stats.solver = SolverKind::kJacobi;
 
-  k.calc_residual();
-  double rr = k.calc_2norm(NormTarget::kResidual);
+  double rr = residual_norm(k, opt);
   stats.initial_rr = rr;
   stats.rr_history.push_back(rr);
   if (rr < opt.eps) {
@@ -209,20 +281,23 @@ SolveStats solve_jacobi(SolverKernels& k, const SolveOptions& opt) {
     return stats;
   }
 
+  const bool fused = want_fused(k, opt, kCapJacobiFused);
   for (int it = 0; it < opt.max_iters; ++it) {
-    k.jacobi_copy_u();
-    k.jacobi_iterate();
+    if (fused) {
+      k.jacobi_fused_copy_iterate();
+    } else {
+      k.jacobi_copy_u();
+      k.jacobi_iterate();
+    }
     k.halo_update(kMaskU, 1);
     ++stats.iterations;
     if ((it + 1) % opt.check_interval == 0) {
-      k.calc_residual();
-      rr = k.calc_2norm(NormTarget::kResidual);
+      rr = residual_norm(k, opt);
       stats.rr_history.push_back(rr);
       if (rr < opt.eps) break;
     }
   }
-  k.calc_residual();
-  stats.final_rr = k.calc_2norm(NormTarget::kResidual);
+  stats.final_rr = residual_norm(k, opt);
   stats.rr_history.push_back(stats.final_rr);
   stats.converged = stats.final_rr < opt.eps;
   return stats;

@@ -21,10 +21,19 @@ struct SolveOptions {
   int ppcg_inner_steps = 10;
   int check_interval = 20;  // Chebyshev residual-check cadence
   double eigen_safety = 0.10;
+  /// Dispatch the fused kernel paths for ports that advertise them via
+  /// SolverKernels::caps(). Off forces the classic kernel sequence even on
+  /// capable ports (the fused-vs-unfused bench and tests use this).
+  bool use_fused = true;
 
   static SolveOptions from_settings(const Settings& s) {
-    return SolveOptions{s.eps,  s.max_iters,      s.cg_prep_iters,
-                        s.ppcg_inner_steps, s.check_interval, s.eigen_safety};
+    return SolveOptions{s.eps,
+                        s.max_iters,
+                        s.cg_prep_iters,
+                        s.ppcg_inner_steps,
+                        s.check_interval,
+                        s.eigen_safety,
+                        s.use_fused};
   }
 };
 

@@ -141,6 +141,39 @@ double DistributedKernels::cg_calc_ur(double alpha) {
   return allreduce_sum(inner_->cg_calc_ur(alpha));
 }
 
+core::CgFusedW DistributedKernels::cg_calc_w_fused() {
+  core::CgFusedW local = inner_->cg_calc_w_fused();
+  if (nranks_ == 1) return local;
+  // The fused sweep's two dots travel in one allreduce (the fusion's comm
+  // win: one latency instead of two).
+  std::array<double, 2> values = {local.pw, local.ww};
+  comm_->allreduce(std::span<double>(values.data(), values.size()),
+                   comm::Communicator::ReduceOp::kSum);
+  ++stats_.allreduces;
+  const std::size_t payload = sizeof(values);
+  meter_comm("allreduce", payload, payload,
+             sim::allreduce_ns(*net_, payload, nranks_));
+  return core::CgFusedW{values[0], values[1]};
+}
+
+double DistributedKernels::cg_fused_ur_p(double alpha, double beta_prev) {
+  return allreduce_sum(inner_->cg_fused_ur_p(alpha, beta_prev));
+}
+
+double DistributedKernels::fused_residual_norm() {
+  return allreduce_sum(inner_->fused_residual_norm());
+}
+
+void DistributedKernels::cheby_fused_iterate(double alpha, double beta) {
+  inner_->cheby_fused_iterate(alpha, beta);
+}
+void DistributedKernels::ppcg_fused_inner(double alpha, double beta) {
+  inner_->ppcg_fused_inner(alpha, beta);
+}
+void DistributedKernels::jacobi_fused_copy_iterate() {
+  inner_->jacobi_fused_copy_iterate();
+}
+
 void DistributedKernels::upload_state(const core::Chunk& chunk) {
   inner_->upload_state(chunk);
 }

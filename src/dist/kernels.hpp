@@ -45,8 +45,15 @@ class DistributedKernels final : public core::SolverKernels {
   double cg_init() override;
   double cg_calc_w() override;
   double cg_calc_ur(double alpha) override;
+  core::CgFusedW cg_calc_w_fused() override;
+  double cg_fused_ur_p(double alpha, double beta_prev) override;
+  double fused_residual_norm() override;
 
   // -- Forwarded verbatim ---------------------------------------------------
+  unsigned caps() const override { return inner_->caps(); }
+  void cheby_fused_iterate(double alpha, double beta) override;
+  void ppcg_fused_inner(double alpha, double beta) override;
+  void jacobi_fused_copy_iterate() override;
   void upload_state(const core::Chunk& chunk) override;
   void init_u() override;
   void init_coefficients(core::Coefficient coefficient, double rx,

@@ -6,13 +6,12 @@ namespace models {
 
 HostPool::HostPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  // The calling thread works chunk 0; spawn threads-1 workers.
+  // The calling thread participates in every job; spawn threads-1 workers.
   const unsigned workers = threads - 1;
   workers_empty_ = (workers == 0);
-  tasks_.resize(threads);
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+    threads_.emplace_back([this] { worker_loop(); });
   }
 }
 
@@ -26,11 +25,18 @@ HostPool::~HostPool() {
   for (auto& t : threads_) t.join();
 }
 
-void HostPool::worker_loop(unsigned index) {
+void HostPool::claim_chunks() {
+  for (;;) {
+    const std::int64_t c = job_.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job_.nchunks) return;
+    const std::int64_t b = job_.begin + c * job_.grain;
+    job_.fn(job_.ctx, b, std::min(b + job_.grain, job_.end), c);
+  }
+}
+
+void HostPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(unsigned, std::int64_t, std::int64_t)>* body;
-    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] {
@@ -38,12 +44,8 @@ void HostPool::worker_loop(unsigned index) {
       });
       if (shutdown_) return;
       seen_generation = generation_;
-      body = active_body_;
-      task = tasks_[index];
     }
-    if (task.begin < task.end && body != nullptr) {
-      (*body)(index, task.begin, task.end);
-    }
+    claim_chunks();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_all();
@@ -51,60 +53,36 @@ void HostPool::worker_loop(unsigned index) {
   }
 }
 
-void HostPool::dispatch(
-    std::int64_t begin, std::int64_t end,
-    const std::function<void(unsigned, std::int64_t, std::int64_t)>& chunk_body) {
-  if (begin >= end) return;
-  const unsigned nthreads = static_cast<unsigned>(tasks_.size());
-  const std::int64_t total = end - begin;
-  const std::int64_t base = total / nthreads;
-  const std::int64_t rem = total % nthreads;
-
-  if (workers_empty_ || total < static_cast<std::int64_t>(nthreads)) {
-    chunk_body(0, begin, end);  // not worth forking
+void HostPool::run_chunks(std::int64_t begin, std::int64_t end,
+                          std::int64_t grain, ChunkFn fn, void* ctx) {
+  const std::int64_t nchunks = (end - begin + grain - 1) / grain;
+  if (workers_empty_ || nchunks == 1) {
+    // Still chunked per grain so reduction slots match the forked path.
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t b = begin + c * grain;
+      fn(ctx, b, std::min(b + grain, end), c);
+    }
     return;
   }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::int64_t cursor = begin;
-    for (unsigned i = 0; i < nthreads; ++i) {
-      const std::int64_t extent = base + (static_cast<std::int64_t>(i) < rem ? 1 : 0);
-      tasks_[i] = Task{cursor, cursor + extent};
-      cursor += extent;
-    }
-    active_body_ = &chunk_body;
-    pending_ = nthreads - 1;
+    job_.begin = begin;
+    job_.end = end;
+    job_.grain = grain;
+    job_.nchunks = nchunks;
+    job_.fn = fn;
+    job_.ctx = ctx;
+    job_.cursor.store(0, std::memory_order_relaxed);
+    pending_ = static_cast<unsigned>(threads_.size());
     ++generation_;
   }
   start_cv_.notify_all();
 
-  // The calling thread processes chunk 0.
-  chunk_body(0, tasks_[0].begin, tasks_[0].end);
+  claim_chunks();  // the calling thread races the workers for chunks
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
-  active_body_ = nullptr;
-}
-
-void HostPool::parallel_for(
-    std::int64_t begin, std::int64_t end,
-    const std::function<void(std::int64_t, std::int64_t)>& body) {
-  dispatch(begin, end,
-           [&body](unsigned, std::int64_t b, std::int64_t e) { body(b, e); });
-}
-
-double HostPool::parallel_reduce_sum(
-    std::int64_t begin, std::int64_t end,
-    const std::function<double(std::int64_t, std::int64_t)>& body) {
-  std::vector<double> partials(tasks_.size(), 0.0);
-  dispatch(begin, end, [&](unsigned index, std::int64_t b, std::int64_t e) {
-    partials[index] = body(b, e);
-  });
-  // Combine in chunk order for determinism.
-  double sum = 0.0;
-  for (const double p : partials) sum += p;
-  return sum;
 }
 
 }  // namespace models

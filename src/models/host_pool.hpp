@@ -1,19 +1,27 @@
 #pragma once
-// HostPool: a fork-join worker pool with static chunking, the execution
-// engine behind the host-side model layers (OpenMP-style parallel_for).
+// HostPool: a fork-join worker pool, the execution engine behind the
+// host-side model layers and the fused reference kernels.
 //
-// Reductions are deterministic: each worker accumulates a private partial
-// over a statically assigned chunk, and partials are combined in chunk order
-// regardless of completion order. With `threads == 1` (the default on this
-// single-core machine) execution degenerates to a plain loop, but the pool
-// is fully functional and is exercised multi-threaded by the test suite.
+// Work is split into `grain`-sized chunks that threads claim dynamically
+// through an atomic cursor. The chunking depends only on (begin, end, grain)
+// — never on the thread count or on claim order — so a reduction is
+// bit-identical at 1, 2, or 8 threads: each chunk writes a private partial
+// slot, and the slots are combined by a pairwise (tree) fold in chunk order,
+// which also accumulates less rounding drift than a running left-fold.
+//
+// The public entry points are templates dispatching through a raw function
+// pointer (ChunkFn), so hot loops never allocate or type-erase through
+// std::function. With `threads == 1` (the default on this single-core
+// machine) execution degenerates to a plain chunked loop, but the pool is
+// fully functional and is exercised multi-threaded by the test suite.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace models {
@@ -26,28 +34,102 @@ class HostPool {
   HostPool(const HostPool&) = delete;
   HostPool& operator=(const HostPool&) = delete;
 
-  unsigned thread_count() const noexcept { return workers_empty_ ? 1u : static_cast<unsigned>(threads_.size() + 1); }
+  unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
 
-  /// Splits [begin, end) into contiguous chunks, one per worker, and runs
+  /// Raw dispatch seam: invoked once per chunk with that chunk's
+  /// [begin, end) and its index in iteration order.
+  using ChunkFn = void (*)(void* ctx, std::int64_t begin, std::int64_t end,
+                           std::int64_t chunk_index);
+
+  /// Chunk length actually used for a range of `total` iterations.
+  /// grain > 0 is honoured exactly; grain == 0 picks a default aiming at
+  /// kDefaultChunksPerRange chunks, a function of the range extent only
+  /// (never the thread count), so default-grain reductions stay
+  /// thread-count-invariant too.
+  static constexpr std::int64_t kDefaultChunksPerRange = 64;
+  static std::int64_t effective_grain(std::int64_t total,
+                                      std::int64_t grain) noexcept {
+    if (grain > 0) return grain;
+    const std::int64_t g = total / kDefaultChunksPerRange;
+    return g > 0 ? g : 1;
+  }
+
+  /// Splits [begin, end) into grain-sized chunks and runs
   /// `body(chunk_begin, chunk_end)` on each. Blocks until all complete.
-  void parallel_for(std::int64_t begin, std::int64_t end,
-                    const std::function<void(std::int64_t, std::int64_t)>& body);
+  template <typename Body>
+  void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
+                    std::int64_t grain = 0) {
+    if (begin >= end) return;
+    run_chunks(begin, end, effective_grain(end - begin, grain),
+               &invoke_for<std::remove_reference_t<Body>>,
+               std::addressof(body));
+  }
 
-  /// Reduction variant: `body(chunk_begin, chunk_end) -> double` partials are
-  /// summed in chunk order.
-  double parallel_reduce_sum(
-      std::int64_t begin, std::int64_t end,
-      const std::function<double(std::int64_t, std::int64_t)>& body);
+  /// Reduction variant: `body(chunk_begin, chunk_end) -> double` partials,
+  /// one per chunk, combined pairwise in chunk order.
+  template <typename Body>
+  double parallel_reduce_sum(std::int64_t begin, std::int64_t end, Body&& body,
+                             std::int64_t grain = 0) {
+    if (begin >= end) return 0.0;
+    const std::int64_t g = effective_grain(end - begin, grain);
+    const std::int64_t nchunks = (end - begin + g - 1) / g;
+    partials_.assign(static_cast<std::size_t>(nchunks), 0.0);
+    ReduceCtx<std::remove_reference_t<Body>> ctx{std::addressof(body),
+                                                 partials_.data()};
+    run_chunks(begin, end, g, &invoke_reduce<std::remove_reference_t<Body>>,
+               &ctx);
+    return combine_pairwise(partials_.data(), nchunks);
+  }
 
  private:
-  struct Task {
-    std::int64_t begin = 0;
-    std::int64_t end = 0;
+  template <typename Body>
+  static void invoke_for(void* ctx, std::int64_t b, std::int64_t e,
+                         std::int64_t) {
+    (*static_cast<Body*>(ctx))(b, e);
+  }
+
+  template <typename Body>
+  struct ReduceCtx {
+    Body* body;
+    double* partials;
   };
 
-  void worker_loop(unsigned index);
-  void dispatch(std::int64_t begin, std::int64_t end,
-                const std::function<void(unsigned, std::int64_t, std::int64_t)>& chunk_body);
+  template <typename Body>
+  static void invoke_reduce(void* ctx, std::int64_t b, std::int64_t e,
+                            std::int64_t chunk_index) {
+    auto* c = static_cast<ReduceCtx<Body>*>(ctx);
+    c->partials[chunk_index] = (*c->body)(b, e);
+  }
+
+  /// In-place tree fold: (p0+p1) + (p2+p3), ... — pairing depends only on
+  /// the chunk count.
+  static double combine_pairwise(double* p, std::int64_t n) noexcept {
+    for (std::int64_t width = 1; width < n; width *= 2) {
+      for (std::int64_t i = 0; i + width < n; i += 2 * width) {
+        p[i] += p[i + width];
+      }
+    }
+    return n > 0 ? p[0] : 0.0;
+  }
+
+  void run_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  ChunkFn fn, void* ctx);
+  void claim_chunks();
+  void worker_loop();
+
+  /// The in-flight job. Written under mutex_ before the generation bump;
+  /// stable until every participant has decremented pending_.
+  struct Job {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
+    std::int64_t nchunks = 0;
+    ChunkFn fn = nullptr;
+    void* ctx = nullptr;
+    std::atomic<std::int64_t> cursor{0};
+  };
 
   std::vector<std::thread> threads_;
   bool workers_empty_ = true;
@@ -58,8 +140,8 @@ class HostPool {
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool shutdown_ = false;
-  std::vector<Task> tasks_;
-  const std::function<void(unsigned, std::int64_t, std::int64_t)>* active_body_ = nullptr;
+  Job job_;
+  std::vector<double> partials_;  // reduction slots, one per chunk
 };
 
 }  // namespace models

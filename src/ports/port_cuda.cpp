@@ -432,6 +432,173 @@ void CudaPort::jacobi_iterate() {
              });
 }
 
+core::CgFusedW CudaPort::cg_calc_w_fused() {
+  const double* p = buf(FieldId::kP).data();
+  const double* kx = buf(FieldId::kKx).data();
+  const double* ky = buf(FieldId::kKy).data();
+  double* w = buf(FieldId::kW).data();
+  double* partials = partials_->data();
+  const std::size_t n = mesh_.interior_cells();
+  const int width = width_, h = h_, nx = nx_;
+  const unsigned blocks = interior_blocks();
+  // field_summary's layout: pw through the block reduction, ww into a
+  // companion partial section accumulated in place.
+  for (unsigned i = 0; i < 2 * blocks; ++i) partials[i] = 0.0;
+  rt_.launch(info(KernelId::kCgCalcWFused), Dim3(blocks), Dim3(kBlockSize),
+             kBlockSize, [=](const ThreadCtx& ctx) {
+               const std::size_t t = ctx.global_thread();
+               double pwv = 0.0, wwv = 0.0;
+               if (t < n) {
+                 const std::size_t i =
+                     (h + t / nx) * static_cast<std::size_t>(width) + h + t % nx;
+                 const double ap = stencil(p, kx, ky, i, width);
+                 w[i] = ap;
+                 pwv = ap * p[i];
+                 wwv = ap * ap;
+               }
+               block_reduce(ctx, pwv, partials);
+               partials[blocks + ctx.block_idx] += wwv;
+             });
+  core::CgFusedW out;
+  out.pw = sum_partials(blocks);
+  for (unsigned b = 0; b < blocks; ++b) {
+    out.ww += partials[blocks + b];
+  }
+  return out;
+}
+
+double CudaPort::cg_fused_ur_p(double alpha, double beta_prev) {
+  double* u = buf(FieldId::kU).data();
+  double* p = buf(FieldId::kP).data();
+  double* r = buf(FieldId::kR).data();
+  const double* w = buf(FieldId::kW).data();
+  double* partials = partials_->data();
+  const std::size_t n = mesh_.interior_cells();
+  const int width = width_, h = h_, nx = nx_;
+  const unsigned blocks = interior_blocks();
+  rt_.launch(info(KernelId::kCgFusedUrP), Dim3(blocks), Dim3(kBlockSize),
+             kBlockSize, [=](const ThreadCtx& ctx) {
+               const std::size_t t = ctx.global_thread();
+               double value = 0.0;
+               if (t < n) {
+                 const std::size_t i =
+                     (h + t / nx) * static_cast<std::size_t>(width) + h + t % nx;
+                 u[i] += alpha * p[i];
+                 const double res = r[i] - alpha * w[i];
+                 r[i] = res;
+                 p[i] = res + beta_prev * p[i];
+                 value = res * res;
+               }
+               block_reduce(ctx, value, partials);
+             });
+  return sum_partials(blocks);
+}
+
+double CudaPort::fused_residual_norm() {
+  const double* u = buf(FieldId::kU).data();
+  const double* u0 = buf(FieldId::kU0).data();
+  const double* kx = buf(FieldId::kKx).data();
+  const double* ky = buf(FieldId::kKy).data();
+  double* r = buf(FieldId::kR).data();
+  double* partials = partials_->data();
+  const std::size_t n = mesh_.interior_cells();
+  const int width = width_, h = h_, nx = nx_;
+  const unsigned blocks = interior_blocks();
+  rt_.launch(info(KernelId::kFusedResidualNorm), Dim3(blocks), Dim3(kBlockSize),
+             kBlockSize, [=](const ThreadCtx& ctx) {
+               const std::size_t t = ctx.global_thread();
+               double value = 0.0;
+               if (t < n) {
+                 const std::size_t i =
+                     (h + t / nx) * static_cast<std::size_t>(width) + h + t % nx;
+                 const double res = u0[i] - stencil(u, kx, ky, i, width);
+                 r[i] = res;
+                 value = res * res;
+               }
+               block_reduce(ctx, value, partials);
+             });
+  return sum_partials(blocks);
+}
+
+void CudaPort::cheby_fused_iterate(double alpha, double beta) {
+  double* u = buf(FieldId::kU).data();
+  const double* u0 = buf(FieldId::kU0).data();
+  const double* kx = buf(FieldId::kKx).data();
+  const double* ky = buf(FieldId::kKy).data();
+  double* r = buf(FieldId::kR).data();
+  double* p = buf(FieldId::kP).data();
+  const std::size_t n = mesh_.interior_cells();
+  const int width = width_, h = h_, nx = nx_;
+  rt_.launch(info(KernelId::kChebyFusedIterate), Dim3(interior_blocks()),
+             Dim3(kBlockSize), 0, [=](const ThreadCtx& ctx) {
+               const std::size_t t = ctx.global_thread();
+               if (t >= n) return;
+               const std::size_t i =
+                   (h + t / nx) * static_cast<std::size_t>(width) + h + t % nx;
+               const double res = u0[i] - stencil(u, kx, ky, i, width);
+               r[i] = res;
+               p[i] = alpha * p[i] + beta * res;
+             });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) u[row + x] += p[row + x];
+  }
+}
+
+void CudaPort::ppcg_fused_inner(double alpha, double beta) {
+  double* u = buf(FieldId::kU).data();
+  double* r = buf(FieldId::kR).data();
+  double* sd = buf(FieldId::kSd).data();
+  const double* kx = buf(FieldId::kKx).data();
+  const double* ky = buf(FieldId::kKy).data();
+  const std::size_t n = mesh_.interior_cells();
+  const int width = width_, h = h_, nx = nx_;
+  rt_.launch(info(KernelId::kPpcgFusedInner), Dim3(interior_blocks()),
+             Dim3(kBlockSize), 0, [=](const ThreadCtx& ctx) {
+               const std::size_t t = ctx.global_thread();
+               if (t >= n) return;
+               const std::size_t i =
+                   (h + t / nx) * static_cast<std::size_t>(width) + h + t % nx;
+               r[i] -= stencil(sd, kx, ky, i, width);
+               u[i] += sd[i];
+             });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) {
+      sd[row + x] = alpha * sd[row + x] + beta * r[row + x];
+    }
+  }
+}
+
+void CudaPort::jacobi_fused_copy_iterate() {
+  double* u = buf(FieldId::kU).data();
+  const double* u0 = buf(FieldId::kU0).data();
+  double* w = buf(FieldId::kW).data();
+  const double* kx = buf(FieldId::kKx).data();
+  const double* ky = buf(FieldId::kKy).data();
+  // Copy over the full padded range (the stencil reads w in the halo) under
+  // the fused charge, then the iterate sweep.
+  const std::size_t n = mesh_.padded_cells();
+  rt_.launch(info(KernelId::kJacobiFusedCopyIterate),
+             Dim3(culike::Runtime::blocks_for(n, kBlockSize)),
+             Dim3(kBlockSize), 0, [=](const ThreadCtx& ctx) {
+               const std::size_t i = ctx.global_thread();
+               if (i >= n) return;
+               w[i] = u[i];
+             });
+  const std::size_t width = static_cast<std::size_t>(width_);
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width;
+    for (int x = h_; x < h_ + nx_; ++x) {
+      const std::size_t i = row + x;
+      const double diag = 1.0 + kx[i + 1] + kx[i] + ky[i + width] + ky[i];
+      u[i] = (u0[i] + kx[i + 1] * w[i + 1] + kx[i] * w[i - 1] +
+              ky[i + width] * w[i + width] + ky[i] * w[i - width]) /
+             diag;
+    }
+  }
+}
+
 void CudaPort::read_u(util::Span2D<double> out) {
   rt_.memcpy_dtoh(host_scratch_, buf(FieldId::kU));
   for (int y = 0; y < height_; ++y) {

@@ -38,6 +38,18 @@ class CudaPort final : public PortBase {
   void ppcg_inner(double alpha, double beta) override;
   void jacobi_copy_u() override;
   void jacobi_iterate() override;
+
+  // Fused variants: the triple dot runs like field_summary (block reduction
+  // plus companion partial sections); the two-sweep steps reuse their loop
+  // bodies under the fused launch charge.
+  unsigned caps() const override { return core::kAllKernelCaps; }
+  core::CgFusedW cg_calc_w_fused() override;
+  double cg_fused_ur_p(double alpha, double beta_prev) override;
+  double fused_residual_norm() override;
+  void cheby_fused_iterate(double alpha, double beta) override;
+  void ppcg_fused_inner(double alpha, double beta) override;
+  void jacobi_fused_copy_iterate() override;
+
   void read_u(util::Span2D<double> out) override;
   void download_energy(core::Chunk& chunk) override;
   const sim::SimClock& clock() const override { return rt_.launcher().clock(); }

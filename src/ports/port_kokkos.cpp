@@ -60,6 +60,31 @@ struct FieldSummaryFunctor {
   }
 };
 
+/// Double dot product for the fused CG w sweep (custom init/join, like the
+/// field summary).
+struct DotsValue {
+  double pw = 0.0, ww = 0.0;
+};
+
+struct CgWFusedFunctor {
+  View p, kx, ky, w;
+  Geom g;
+
+  void init(DotsValue& v) const { v = DotsValue{}; }
+  void join(DotsValue& dst, const DotsValue& src) const {
+    dst.pw += src.pw;
+    dst.ww += src.ww;
+  }
+  void operator()(std::int64_t i, DotsValue& v) const {
+    int x, y;
+    if (!g.interior(i, x, y)) return;
+    const double ap = stencil(p, kx, ky, x, y);
+    w(x, y) = ap;
+    v.pw += ap * p(x, y);
+    v.ww += ap * ap;
+  }
+};
+
 }  // namespace
 
 KokkosPort::KokkosPort(sim::Model model, sim::DeviceId device,
@@ -329,6 +354,110 @@ void KokkosPort::jacobi_iterate() {
                    ky(x, y) * w(x, y - 1)) /
                   diag;
       });
+}
+
+core::CgFusedW KokkosPort::cg_calc_w_fused() {
+  CgWFusedFunctor functor{view(FieldId::kP), view(FieldId::kKx),
+                          view(FieldId::kKy), view(FieldId::kW),
+                          Geom{width_, h_, nx_, ny_}};
+  DotsValue value;
+  ctx_.parallel_reduce(info(KernelId::kCgCalcWFused), flat_policy(), functor,
+                       value);
+  return core::CgFusedW{value.pw, value.ww};
+}
+
+double KokkosPort::cg_fused_ur_p(double alpha, double beta_prev) {
+  View u = view(FieldId::kU), p = view(FieldId::kP);
+  View r = view(FieldId::kR), w = view(FieldId::kW);
+  const Geom g{width_, h_, nx_, ny_};
+  double rrn = 0.0;
+  ctx_.parallel_reduce(info(KernelId::kCgFusedUrP), flat_policy(),
+                       [=](std::int64_t i, double& acc) {
+                         int x, y;
+                         if (!g.interior(i, x, y)) return;
+                         u(x, y) += alpha * p(x, y);
+                         const double res = r(x, y) - alpha * w(x, y);
+                         r(x, y) = res;
+                         p(x, y) = res + beta_prev * p(x, y);
+                         acc += res * res;
+                       },
+                       rrn);
+  return rrn;
+}
+
+double KokkosPort::fused_residual_norm() {
+  View u = view(FieldId::kU), u0 = view(FieldId::kU0);
+  View kx = view(FieldId::kKx), ky = view(FieldId::kKy), r = view(FieldId::kR);
+  const Geom g{width_, h_, nx_, ny_};
+  double norm = 0.0;
+  ctx_.parallel_reduce(info(KernelId::kFusedResidualNorm), flat_policy(),
+                       [=](std::int64_t i, double& acc) {
+                         int x, y;
+                         if (!g.interior(i, x, y)) return;
+                         const double res = u0(x, y) - stencil(u, kx, ky, x, y);
+                         r(x, y) = res;
+                         acc += res * res;
+                       },
+                       norm);
+  return norm;
+}
+
+void KokkosPort::cheby_fused_iterate(double alpha, double beta) {
+  View u = view(FieldId::kU), u0 = view(FieldId::kU0);
+  View kx = view(FieldId::kKx), ky = view(FieldId::kKy);
+  View r = view(FieldId::kR), p = view(FieldId::kP);
+  const Geom g{width_, h_, nx_, ny_};
+  ctx_.parallel_for(
+      info(KernelId::kChebyFusedIterate), flat_policy(), [=](std::int64_t i) {
+        int x, y;
+        if (!g.interior(i, x, y)) return;
+        const double res = u0(x, y) - stencil(u, kx, ky, x, y);
+        r(x, y) = res;
+        p(x, y) = alpha * p(x, y) + beta * res;
+      });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    for (int x = h_; x < h_ + nx_; ++x) u(x, y) += p(x, y);
+  }
+}
+
+void KokkosPort::ppcg_fused_inner(double alpha, double beta) {
+  View u = view(FieldId::kU), r = view(FieldId::kR), sd = view(FieldId::kSd);
+  View kx = view(FieldId::kKx), ky = view(FieldId::kKy);
+  const Geom g{width_, h_, nx_, ny_};
+  ctx_.parallel_for(
+      info(KernelId::kPpcgFusedInner), flat_policy(), [=](std::int64_t i) {
+        int x, y;
+        if (!g.interior(i, x, y)) return;
+        r(x, y) -= stencil(sd, kx, ky, x, y);
+        u(x, y) += sd(x, y);
+      });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    for (int x = h_; x < h_ + nx_; ++x) {
+      sd(x, y) = alpha * sd(x, y) + beta * r(x, y);
+    }
+  }
+}
+
+void KokkosPort::jacobi_fused_copy_iterate() {
+  View u = view(FieldId::kU), u0 = view(FieldId::kU0), w = view(FieldId::kW);
+  View kx = view(FieldId::kKx), ky = view(FieldId::kKy);
+  // Copy over the full padded range (the stencil reads w in the halo), then
+  // iterate — one fused charge.
+  ctx_.parallel_for(
+      info(KernelId::kJacobiFusedCopyIterate), flat_policy(),
+      [=](std::int64_t i) {
+        w[static_cast<std::size_t>(i)] = u[static_cast<std::size_t>(i)];
+      });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    for (int x = h_; x < h_ + nx_; ++x) {
+      const double diag =
+          1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+      u(x, y) = (u0(x, y) + kx(x + 1, y) * w(x + 1, y) +
+                 kx(x, y) * w(x - 1, y) + ky(x, y + 1) * w(x, y + 1) +
+                 ky(x, y) * w(x, y - 1)) /
+                diag;
+    }
+  }
 }
 
 void KokkosPort::read_u(util::Span2D<double> out) {

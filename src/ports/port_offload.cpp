@@ -324,6 +324,125 @@ void OffloadPort::jacobi_iterate() {
   });
 }
 
+core::CgFusedW OffloadPort::cg_calc_w_fused() {
+  const double* p = fp(FieldId::kP);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  double* w = fp(FieldId::kW);
+  const int width = width_;
+  core::CgFusedW out;
+  double ww = 0.0;
+  // field_summary's shape: reduction clause on p.w, the second dot rides
+  // along (map(tofrom: scalar) in the real directive).
+  out.pw = preduce(info(KernelId::kCgCalcWFused),
+                   [&, p, kx, ky, w](std::int64_t idx, double& acc) {
+                     const std::int64_t i = pad_index(idx);
+                     const double ap = stencil(p, kx, ky, i, width);
+                     w[i] = ap;
+                     acc += ap * p[i];
+                     ww += ap * ap;
+                   });
+  out.ww = ww;
+  return out;
+}
+
+double OffloadPort::cg_fused_ur_p(double alpha, double beta_prev) {
+  double* u = fp(FieldId::kU);
+  double* p = fp(FieldId::kP);
+  double* r = fp(FieldId::kR);
+  const double* w = fp(FieldId::kW);
+  return preduce(info(KernelId::kCgFusedUrP),
+                 [=, this](std::int64_t idx, double& acc) {
+                   const std::int64_t i = pad_index(idx);
+                   u[i] += alpha * p[i];
+                   const double res = r[i] - alpha * w[i];
+                   r[i] = res;
+                   p[i] = res + beta_prev * p[i];
+                   acc += res * res;
+                 });
+}
+
+double OffloadPort::fused_residual_norm() {
+  const double* u = fp(FieldId::kU);
+  const double* u0 = fp(FieldId::kU0);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  double* r = fp(FieldId::kR);
+  const int width = width_;
+  return preduce(info(KernelId::kFusedResidualNorm),
+                 [=, this](std::int64_t idx, double& acc) {
+                   const std::int64_t i = pad_index(idx);
+                   const double res = u0[i] - stencil(u, kx, ky, i, width);
+                   r[i] = res;
+                   acc += res * res;
+                 });
+}
+
+void OffloadPort::cheby_fused_iterate(double alpha, double beta) {
+  double* u = fp(FieldId::kU);
+  const double* u0 = fp(FieldId::kU0);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  double* r = fp(FieldId::kR);
+  double* p = fp(FieldId::kP);
+  const int width = width_;
+  pfor(info(KernelId::kChebyFusedIterate), [=, this](std::int64_t idx) {
+    const std::int64_t i = pad_index(idx);
+    const double res = u0[i] - stencil(u, kx, ky, i, width);
+    r[i] = res;
+    p[i] = alpha * p[i] + beta * res;
+  });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::int64_t row = static_cast<std::int64_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) u[row + x] += p[row + x];
+  }
+}
+
+void OffloadPort::ppcg_fused_inner(double alpha, double beta) {
+  double* u = fp(FieldId::kU);
+  double* r = fp(FieldId::kR);
+  double* sd = fp(FieldId::kSd);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  const int width = width_;
+  pfor(info(KernelId::kPpcgFusedInner), [=, this](std::int64_t idx) {
+    const std::int64_t i = pad_index(idx);
+    r[i] -= stencil(sd, kx, ky, i, width);
+    u[i] += sd[i];
+  });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::int64_t row = static_cast<std::int64_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) {
+      sd[row + x] = alpha * sd[row + x] + beta * r[row + x];
+    }
+  }
+}
+
+void OffloadPort::jacobi_fused_copy_iterate() {
+  double* u = fp(FieldId::kU);
+  const double* u0 = fp(FieldId::kU0);
+  double* w = fp(FieldId::kW);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  const int width = width_;
+  // Copy over the full padded range (the stencil reads w in the halo), then
+  // iterate — one fused target region.
+  const std::int64_t total = static_cast<std::int64_t>(mesh_.padded_cells());
+  rt_.target_region(info(KernelId::kJacobiFusedCopyIterate), [&] {
+    for (std::int64_t i = 0; i < total; ++i) w[i] = u[i];
+    for (int y = h_; y < h_ + ny_; ++y) {
+      const std::int64_t row = static_cast<std::int64_t>(y) * width;
+      for (int x = h_; x < h_ + nx_; ++x) {
+        const std::int64_t i = row + x;
+        const double diag = 1.0 + kx[i + 1] + kx[i] + ky[i + width] + ky[i];
+        u[i] = (u0[i] + kx[i + 1] * w[i + 1] + kx[i] * w[i - 1] +
+                ky[i + width] * w[i + width] + ky[i] * w[i - width]) /
+               diag;
+      }
+    }
+  });
+}
+
 void OffloadPort::read_u(util::Span2D<double> out) {
   rt_.update_from(fp(FieldId::kU), padded_bytes());
   const auto u = f(FieldId::kU);

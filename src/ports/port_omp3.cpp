@@ -329,6 +329,160 @@ void Omp3Port::jacobi_iterate() {
       });
 }
 
+core::CgFusedW Omp3Port::cg_calc_w_fused() {
+  auto p = f(FieldId::kP);
+  auto kx = f(FieldId::kKx);
+  auto ky = f(FieldId::kKy);
+  auto w = f(FieldId::kW);
+  core::CgFusedW out;
+  // Both dot products share the sweep: the reduce clause carries p.w; w.w
+  // rides in per-row slots combined in row order, exactly the field_summary
+  // idiom (disjoint rows, no shared-accumulator race).
+  std::vector<double> row_ww(static_cast<std::size_t>(ny_), 0.0);
+  out.pw = rt_.parallel_reduce(
+      info(KernelId::kCgCalcWFused), h_, h_ + ny_,
+      [&](std::int64_t y, double& acc) {
+        double sww = 0.0;
+        for (int x = h_; x < h_ + nx_; ++x) {
+          const double diag =
+              1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+          const double ap = diag * p(x, y) - kx(x + 1, y) * p(x + 1, y) -
+                            kx(x, y) * p(x - 1, y) - ky(x, y + 1) * p(x, y + 1) -
+                            ky(x, y) * p(x, y - 1);
+          w(x, y) = ap;
+          acc += ap * p(x, y);
+          sww += ap * ap;
+        }
+        row_ww[static_cast<std::size_t>(y - h_)] = sww;
+      });
+  for (std::size_t row = 0; row < static_cast<std::size_t>(ny_); ++row) {
+    out.ww += row_ww[row];
+  }
+  return out;
+}
+
+double Omp3Port::cg_fused_ur_p(double alpha, double beta_prev) {
+  auto u = f(FieldId::kU);
+  auto p = f(FieldId::kP);
+  auto r = f(FieldId::kR);
+  auto w = f(FieldId::kW);
+  return rt_.parallel_reduce(
+      info(KernelId::kCgFusedUrP), h_, h_ + ny_,
+      [&](std::int64_t y, double& acc) {
+        for (int x = h_; x < h_ + nx_; ++x) {
+          u(x, y) += alpha * p(x, y);
+          const double res = r(x, y) - alpha * w(x, y);
+          r(x, y) = res;
+          p(x, y) = res + beta_prev * p(x, y);
+          acc += res * res;
+        }
+      });
+}
+
+double Omp3Port::fused_residual_norm() {
+  auto u = f(FieldId::kU);
+  auto u0 = f(FieldId::kU0);
+  auto kx = f(FieldId::kKx);
+  auto ky = f(FieldId::kKy);
+  auto r = f(FieldId::kR);
+  return rt_.parallel_reduce(
+      info(KernelId::kFusedResidualNorm), h_, h_ + ny_,
+      [&](std::int64_t y, double& acc) {
+        for (int x = h_; x < h_ + nx_; ++x) {
+          const double diag =
+              1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+          const double au = diag * u(x, y) - kx(x + 1, y) * u(x + 1, y) -
+                            kx(x, y) * u(x - 1, y) - ky(x, y + 1) * u(x, y + 1) -
+                            ky(x, y) * u(x, y - 1);
+          const double res = u0(x, y) - au;
+          r(x, y) = res;
+          acc += res * res;
+        }
+      });
+}
+
+void Omp3Port::cheby_fused_iterate(double alpha, double beta) {
+  auto u = f(FieldId::kU);
+  auto u0 = f(FieldId::kU0);
+  auto kx = f(FieldId::kKx);
+  auto ky = f(FieldId::kKy);
+  auto r = f(FieldId::kR);
+  auto p = f(FieldId::kP);
+  // Same two-phase body as cheby_iterate, charged once at the fused rate.
+  rt_.parallel_for(
+      info(KernelId::kChebyFusedIterate), h_, h_ + ny_, [&](std::int64_t y) {
+        for (int x = h_; x < h_ + nx_; ++x) {
+          const double diag =
+              1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+          const double au = diag * u(x, y) - kx(x + 1, y) * u(x + 1, y) -
+                            kx(x, y) * u(x - 1, y) - ky(x, y + 1) * u(x, y + 1) -
+                            ky(x, y) * u(x, y - 1);
+          const double res = u0(x, y) - au;
+          r(x, y) = res;
+          p(x, y) = alpha * p(x, y) + beta * res;
+        }
+      });
+  rt_.pool().parallel_for(h_, h_ + ny_, [&](std::int64_t yb, std::int64_t ye) {
+    for (std::int64_t y = yb; y < ye; ++y) {
+      for (int x = h_; x < h_ + nx_; ++x) u(x, y) += p(x, y);
+    }
+  });
+}
+
+void Omp3Port::ppcg_fused_inner(double alpha, double beta) {
+  auto u = f(FieldId::kU);
+  auto r = f(FieldId::kR);
+  auto sd = f(FieldId::kSd);
+  auto kx = f(FieldId::kKx);
+  auto ky = f(FieldId::kKy);
+  rt_.parallel_for(
+      info(KernelId::kPpcgFusedInner), h_, h_ + ny_, [&](std::int64_t y) {
+        for (int x = h_; x < h_ + nx_; ++x) {
+          const double diag =
+              1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+          const double asd = diag * sd(x, y) - kx(x + 1, y) * sd(x + 1, y) -
+                             kx(x, y) * sd(x - 1, y) -
+                             ky(x, y + 1) * sd(x, y + 1) -
+                             ky(x, y) * sd(x, y - 1);
+          r(x, y) -= asd;
+          u(x, y) += sd(x, y);
+        }
+      });
+  rt_.pool().parallel_for(h_, h_ + ny_, [&](std::int64_t yb, std::int64_t ye) {
+    for (std::int64_t y = yb; y < ye; ++y) {
+      for (int x = h_; x < h_ + nx_; ++x) {
+        sd(x, y) = alpha * sd(x, y) + beta * r(x, y);
+      }
+    }
+  });
+}
+
+void Omp3Port::jacobi_fused_copy_iterate() {
+  auto u = f(FieldId::kU);
+  auto u0 = f(FieldId::kU0);
+  auto w = f(FieldId::kW);
+  auto kx = f(FieldId::kKx);
+  auto ky = f(FieldId::kKy);
+  // Copy (full padded extent, the stencil reads w in the halo) then iterate,
+  // both inside the single fused charge.
+  rt_.parallel_for(info(KernelId::kJacobiFusedCopyIterate), 0, height_,
+                   [&](std::int64_t y) {
+                     for (int x = 0; x < width_; ++x) w(x, y) = u(x, y);
+                   });
+  rt_.pool().parallel_for(h_, h_ + ny_, [&](std::int64_t yb, std::int64_t ye) {
+    for (std::int64_t y = yb; y < ye; ++y) {
+      for (int x = h_; x < h_ + nx_; ++x) {
+        const double diag =
+            1.0 + kx(x + 1, y) + kx(x, y) + ky(x, y + 1) + ky(x, y);
+        u(x, y) = (u0(x, y) + kx(x + 1, y) * w(x + 1, y) +
+                   kx(x, y) * w(x - 1, y) + ky(x, y + 1) * w(x, y + 1) +
+                   ky(x, y) * w(x, y - 1)) /
+                  diag;
+      }
+    }
+  });
+}
+
 void Omp3Port::read_u(util::Span2D<double> out) {
   const auto u = f(FieldId::kU);
   for (int y = 0; y < height_; ++y) {

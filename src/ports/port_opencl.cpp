@@ -340,6 +340,72 @@ std::map<std::string, ocllike::KernelFn> program_source() {
            diag;
   };
 
+  // Fused CG w sweep: pw through the work-group reduction, ww into a
+  // companion partial section (field_summary's layout).
+  src["cg_calc_w_fused"] = [](const NDItem& item,
+                              const std::vector<KernelArg>& args) {
+    const Unpack a{args};
+    const std::size_t groups = item.global_size / item.local_size;
+    double pw = 0.0, ww = 0.0;
+    if (item.global_id < static_cast<std::size_t>(a.n(0))) {
+      const std::size_t i = static_cast<std::size_t>(pad_index(
+          static_cast<std::int64_t>(item.global_id), a.n(1), a.n(2), a.n(3)));
+      Buffer& p = a.b(4);
+      Buffer& kx = a.b(5);
+      Buffer& ky = a.b(6);
+      Buffer& w = a.b(7);
+      const double ap = stencil(p, kx, ky, i, static_cast<std::size_t>(a.n(1)));
+      w[i] = ap;
+      pw = ap * p[i];
+      ww = ap * ap;
+    }
+    Buffer& partials = a.b(8);
+    wg_reduce(item, pw, partials);
+    partials[groups + item.group_id] += ww;
+  };
+
+  src["cg_fused_ur_p"] = [](const NDItem& item,
+                            const std::vector<KernelArg>& args) {
+    const Unpack a{args};
+    double value = 0.0;
+    if (item.global_id < static_cast<std::size_t>(a.n(0))) {
+      const std::size_t i = static_cast<std::size_t>(pad_index(
+          static_cast<std::int64_t>(item.global_id), a.n(1), a.n(2), a.n(3)));
+      Buffer& u = a.b(4);
+      Buffer& p = a.b(5);
+      Buffer& r = a.b(6);
+      Buffer& w = a.b(7);
+      const double alpha = a.d(8);
+      const double beta_prev = a.d(9);
+      u[i] += alpha * p[i];
+      const double res = r[i] - alpha * w[i];
+      r[i] = res;
+      p[i] = res + beta_prev * p[i];
+      value = res * res;
+    }
+    wg_reduce(item, value, a.b(10));
+  };
+
+  src["fused_residual_norm"] = [](const NDItem& item,
+                                  const std::vector<KernelArg>& args) {
+    const Unpack a{args};
+    double value = 0.0;
+    if (item.global_id < static_cast<std::size_t>(a.n(0))) {
+      const std::size_t i = static_cast<std::size_t>(pad_index(
+          static_cast<std::int64_t>(item.global_id), a.n(1), a.n(2), a.n(3)));
+      Buffer& u = a.b(4);
+      Buffer& u0 = a.b(5);
+      Buffer& kx = a.b(6);
+      Buffer& ky = a.b(7);
+      Buffer& r = a.b(8);
+      const double res =
+          u0[i] - stencil(u, kx, ky, i, static_cast<std::size_t>(a.n(1)));
+      r[i] = res;
+      value = res * res;
+    }
+    wg_reduce(item, value, a.b(9));
+  };
+
   src["ppcg_inner_sd"] = [](const NDItem& item,
                             const std::vector<KernelArg>& args) {
     const Unpack a{args};
@@ -384,8 +450,8 @@ OpenClPort::OpenClPort(sim::DeviceId device, const core::Mesh& mesh,
        {"init_u", "init_coef", "calc_residual", "calc_2norm", "finalise",
         "field_summary", "cg_init", "cg_calc_w", "cg_calc_ur", "cg_calc_p",
         "cheby_init", "cheby_calc_p", "cheby_calc_u", "ppcg_init_sd",
-        "ppcg_inner_ru", "ppcg_inner_sd", "jacobi_copy_u",
-        "jacobi_iterate"}) {
+        "ppcg_inner_ru", "ppcg_inner_sd", "jacobi_copy_u", "jacobi_iterate",
+        "cg_calc_w_fused", "cg_fused_ur_p", "fused_residual_norm"}) {
     kernels_.emplace(name, ocllike::Kernel(program_, name));
   }
 }
@@ -665,6 +731,123 @@ void OpenClPort::jacobi_iterate() {
   k.set_arg(7, &buf(FieldId::kKx));
   k.set_arg(8, &buf(FieldId::kKy));
   run_kernel("jacobi_iterate", info(KernelId::kJacobiIterate));
+}
+
+core::CgFusedW OpenClPort::cg_calc_w_fused() {
+  // Zero the companion section (ww accumulates in place).
+  const std::size_t groups = group_count();
+  for (std::size_t i = 0; i < 2 * groups; ++i) (*partials_)[i] = 0.0;
+  ocllike::Kernel& k = kernels_.at("cg_calc_w_fused");
+  set_geometry_args(k, mesh_.interior_cells(), width_, h_, nx_);
+  k.set_arg(4, &buf(FieldId::kP));
+  k.set_arg(5, &buf(FieldId::kKx));
+  k.set_arg(6, &buf(FieldId::kKy));
+  k.set_arg(7, &buf(FieldId::kW));
+  k.set_arg(8, partials_.get());
+  core::CgFusedW out;
+  out.pw = run_reduction("cg_calc_w_fused", info(KernelId::kCgCalcWFused));
+  for (std::size_t g = 0; g < groups; ++g) {
+    out.ww += (*partials_)[groups + g];
+  }
+  return out;
+}
+
+double OpenClPort::cg_fused_ur_p(double alpha, double beta_prev) {
+  ocllike::Kernel& k = kernels_.at("cg_fused_ur_p");
+  set_geometry_args(k, mesh_.interior_cells(), width_, h_, nx_);
+  k.set_arg(4, &buf(FieldId::kU));
+  k.set_arg(5, &buf(FieldId::kP));
+  k.set_arg(6, &buf(FieldId::kR));
+  k.set_arg(7, &buf(FieldId::kW));
+  k.set_arg(8, alpha);
+  k.set_arg(9, beta_prev);
+  k.set_arg(10, partials_.get());
+  return run_reduction("cg_fused_ur_p", info(KernelId::kCgFusedUrP));
+}
+
+double OpenClPort::fused_residual_norm() {
+  ocllike::Kernel& k = kernels_.at("fused_residual_norm");
+  set_geometry_args(k, mesh_.interior_cells(), width_, h_, nx_);
+  k.set_arg(4, &buf(FieldId::kU));
+  k.set_arg(5, &buf(FieldId::kU0));
+  k.set_arg(6, &buf(FieldId::kKx));
+  k.set_arg(7, &buf(FieldId::kKy));
+  k.set_arg(8, &buf(FieldId::kR));
+  k.set_arg(9, partials_.get());
+  return run_reduction("fused_residual_norm",
+                       info(KernelId::kFusedResidualNorm));
+}
+
+void OpenClPort::cheby_fused_iterate(double alpha, double beta) {
+  // Same two sweeps as cheby_iterate, enqueued under the fused charge.
+  ocllike::Kernel& kp = kernels_.at("cheby_calc_p");
+  set_geometry_args(kp, mesh_.interior_cells(), width_, h_, nx_);
+  kp.set_arg(4, &buf(FieldId::kU));
+  kp.set_arg(5, &buf(FieldId::kU0));
+  kp.set_arg(6, &buf(FieldId::kKx));
+  kp.set_arg(7, &buf(FieldId::kKy));
+  kp.set_arg(8, &buf(FieldId::kR));
+  kp.set_arg(9, &buf(FieldId::kP));
+  kp.set_arg(10, alpha);
+  kp.set_arg(11, beta);
+  run_kernel("cheby_calc_p", info(KernelId::kChebyFusedIterate));
+
+  double* u = buf(FieldId::kU).data();
+  const double* p = buf(FieldId::kP).data();
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) u[row + x] += p[row + x];
+  }
+}
+
+void OpenClPort::ppcg_fused_inner(double alpha, double beta) {
+  ocllike::Kernel& kr = kernels_.at("ppcg_inner_ru");
+  set_geometry_args(kr, mesh_.interior_cells(), width_, h_, nx_);
+  kr.set_arg(4, &buf(FieldId::kU));
+  kr.set_arg(5, &buf(FieldId::kR));
+  kr.set_arg(6, &buf(FieldId::kSd));
+  kr.set_arg(7, &buf(FieldId::kKx));
+  kr.set_arg(8, &buf(FieldId::kKy));
+  run_kernel("ppcg_inner_ru", info(KernelId::kPpcgFusedInner));
+
+  const double* r = buf(FieldId::kR).data();
+  double* sd = buf(FieldId::kSd).data();
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) {
+      sd[row + x] = alpha * sd[row + x] + beta * r[row + x];
+    }
+  }
+}
+
+void OpenClPort::jacobi_fused_copy_iterate() {
+  // Copy (full padded range) under the fused charge, then the iterate sweep.
+  ocllike::Kernel& k = kernels_.at("jacobi_copy_u");
+  set_geometry_args(k, mesh_.padded_cells(), width_, h_, nx_);
+  k.set_arg(4, &buf(FieldId::kU));
+  k.set_arg(5, &buf(FieldId::kW));
+  const std::size_t global = (mesh_.padded_cells() + kWorkGroupSize - 1) /
+                             kWorkGroupSize * kWorkGroupSize;
+  queue_.enqueue_nd_range(k, info(KernelId::kJacobiFusedCopyIterate), global,
+                          kWorkGroupSize);
+  queue_.finish();
+
+  double* u = buf(FieldId::kU).data();
+  const double* u0 = buf(FieldId::kU0).data();
+  const double* w = buf(FieldId::kW).data();
+  const double* kx = buf(FieldId::kKx).data();
+  const double* ky = buf(FieldId::kKy).data();
+  const std::size_t width = static_cast<std::size_t>(width_);
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width;
+    for (int x = h_; x < h_ + nx_; ++x) {
+      const std::size_t i = row + x;
+      const double diag = 1.0 + kx[i + 1] + kx[i] + ky[i + width] + ky[i];
+      u[i] = (u0[i] + kx[i + 1] * w[i + 1] + kx[i] * w[i - 1] +
+              ky[i + width] * w[i + width] + ky[i] * w[i - width]) /
+             diag;
+    }
+  }
 }
 
 void OpenClPort::read_u(util::Span2D<double> out) {

@@ -286,6 +286,123 @@ void RajaPort::jacobi_iterate() {
       });
 }
 
+core::CgFusedW RajaPort::cg_calc_w_fused() {
+  const double* p = fp(FieldId::kP);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  double* w = fp(FieldId::kW);
+  const int width = width_;
+  // Two ReduceSum objects share the traversal, like field_summary's four.
+  ReduceSum pw, ww;
+  ctx_.forall<Policy>(info(KernelId::kCgCalcWFused), interior_,
+                      [&, p, kx, ky, w](std::int64_t i) {
+                        const double ap = stencil(p, kx, ky, i, width);
+                        w[i] = ap;
+                        pw += ap * p[i];
+                        ww += ap * ap;
+                      });
+  return core::CgFusedW{pw.get(), ww.get()};
+}
+
+double RajaPort::cg_fused_ur_p(double alpha, double beta_prev) {
+  double* u = fp(FieldId::kU);
+  double* p = fp(FieldId::kP);
+  double* r = fp(FieldId::kR);
+  const double* w = fp(FieldId::kW);
+  ReduceSum rrn;
+  ctx_.forall<Policy>(info(KernelId::kCgFusedUrP), interior_,
+                      [&, u, p, r, w](std::int64_t i) {
+                        u[i] += alpha * p[i];
+                        const double res = r[i] - alpha * w[i];
+                        r[i] = res;
+                        p[i] = res + beta_prev * p[i];
+                        rrn += res * res;
+                      });
+  return rrn.get();
+}
+
+double RajaPort::fused_residual_norm() {
+  const double* u = fp(FieldId::kU);
+  const double* u0 = fp(FieldId::kU0);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  double* r = fp(FieldId::kR);
+  const int width = width_;
+  ReduceSum norm;
+  ctx_.forall<Policy>(info(KernelId::kFusedResidualNorm), interior_,
+                      [&, u, u0, kx, ky, r](std::int64_t i) {
+                        const double res = u0[i] - stencil(u, kx, ky, i, width);
+                        r[i] = res;
+                        norm += res * res;
+                      });
+  return norm.get();
+}
+
+void RajaPort::cheby_fused_iterate(double alpha, double beta) {
+  double* u = fp(FieldId::kU);
+  const double* u0 = fp(FieldId::kU0);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  double* r = fp(FieldId::kR);
+  double* p = fp(FieldId::kP);
+  const int width = width_;
+  ctx_.forall<Policy>(info(KernelId::kChebyFusedIterate), interior_,
+                      [=](std::int64_t i) {
+                        const double res = u0[i] - stencil(u, kx, ky, i, width);
+                        r[i] = res;
+                        p[i] = alpha * p[i] + beta * res;
+                      });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::int64_t row = static_cast<std::int64_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) u[row + x] += p[row + x];
+  }
+}
+
+void RajaPort::ppcg_fused_inner(double alpha, double beta) {
+  double* u = fp(FieldId::kU);
+  double* r = fp(FieldId::kR);
+  double* sd = fp(FieldId::kSd);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  const int width = width_;
+  ctx_.forall<Policy>(info(KernelId::kPpcgFusedInner), interior_,
+                      [=](std::int64_t i) {
+                        r[i] -= stencil(sd, kx, ky, i, width);
+                        u[i] += sd[i];
+                      });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::int64_t row = static_cast<std::int64_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) {
+      sd[row + x] = alpha * sd[row + x] + beta * r[row + x];
+    }
+  }
+}
+
+void RajaPort::jacobi_fused_copy_iterate() {
+  double* u = fp(FieldId::kU);
+  const double* u0 = fp(FieldId::kU0);
+  double* w = fp(FieldId::kW);
+  const double* kx = fp(FieldId::kKx);
+  const double* ky = fp(FieldId::kKy);
+  const int width = width_;
+  // Copy over the full padded range (the stencil reads w in the halo), then
+  // iterate — one fused charge.
+  ctx_.forall<Policy>(
+      info(KernelId::kJacobiFusedCopyIterate),
+      RangeSegment{0, static_cast<std::int64_t>(mesh_.padded_cells())},
+      [=](std::int64_t i) { w[i] = u[i]; });
+  for (int y = h_; y < h_ + ny_; ++y) {
+    const std::int64_t row = static_cast<std::int64_t>(y) * width_;
+    for (int x = h_; x < h_ + nx_; ++x) {
+      const std::int64_t i = row + x;
+      const double diag = 1.0 + kx[i + 1] + kx[i] + ky[i + width] + ky[i];
+      u[i] = (u0[i] + kx[i + 1] * w[i + 1] + kx[i] * w[i - 1] +
+              ky[i + width] * w[i + width] + ky[i] * w[i - width]) /
+             diag;
+    }
+  }
+}
+
 void RajaPort::read_u(util::Span2D<double> out) {
   const auto u = f(FieldId::kU);
   for (int y = 0; y < height_; ++y) {

@@ -64,6 +64,34 @@ class PerturbingKernels final : public core::SolverKernels {
   }
   void jacobi_copy_u() override { inner_->jacobi_copy_u(); }
   void jacobi_iterate() override { inner_->jacobi_iterate(); }
+
+  // Fused kernels perturb under their classic target names: a fused sweep is
+  // the same logical kernel, so "cg_calc_w" faults must fire whichever code
+  // path the solver dispatches.
+  unsigned caps() const override { return inner_->caps(); }
+  core::CgFusedW cg_calc_w_fused() override {
+    core::CgFusedW v = inner_->cg_calc_w_fused();
+    v.pw = scale("cg_calc_w", v.pw);
+    return v;
+  }
+  double cg_fused_ur_p(double alpha, double beta_prev) override {
+    return scale("cg_calc_ur", inner_->cg_fused_ur_p(alpha, beta_prev));
+  }
+  double fused_residual_norm() override {
+    return scale("calc_2norm", inner_->fused_residual_norm());
+  }
+  void cheby_fused_iterate(double alpha, double beta) override {
+    inner_->cheby_fused_iterate(alpha, beta);
+  }
+  void ppcg_fused_inner(double alpha, double beta) override {
+    inner_->ppcg_fused_inner(alpha, beta);
+  }
+  void jacobi_fused_copy_iterate() override {
+    inner_->jacobi_fused_copy_iterate();
+  }
+  tl::util::Span2D<double> field_view(core::FieldId id) override {
+    return inner_->field_view(id);
+  }
   void read_u(tl::util::Span2D<double> out) override { inner_->read_u(out); }
   void download_energy(core::Chunk& chunk) override {
     inner_->download_energy(chunk);

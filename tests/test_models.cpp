@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "models/culike/cuda.hpp"
@@ -138,6 +141,110 @@ TEST(HostPool, SmallRangeRunsInline) {
         return acc;
       });
   EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+// An explicit grain must be honoured exactly: chunk k covers
+// [begin + k*grain, min(begin + (k+1)*grain, end)), for every thread count.
+TEST(HostPool, ExplicitGrainProducesExactChunks) {
+  constexpr std::int64_t kBegin = 3, kEnd = 103, kGrain = 7;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    models::HostPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    pool.parallel_for(
+        kBegin, kEnd,
+        [&](std::int64_t b, std::int64_t e) {
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.emplace_back(b, e);
+        },
+        kGrain);
+    std::sort(chunks.begin(), chunks.end());
+    const std::int64_t expected = (kEnd - kBegin + kGrain - 1) / kGrain;
+    ASSERT_EQ(static_cast<std::int64_t>(chunks.size()), expected);
+    for (std::size_t k = 0; k < chunks.size(); ++k) {
+      const std::int64_t b = kBegin + static_cast<std::int64_t>(k) * kGrain;
+      EXPECT_EQ(chunks[k].first, b);
+      EXPECT_EQ(chunks[k].second, std::min(b + kGrain, kEnd));
+    }
+  }
+}
+
+// The default grain is a function of the range only, so chunk boundaries
+// (and therefore reduction partial slots) never depend on the thread count.
+TEST(HostPool, DefaultGrainIndependentOfThreadCount) {
+  EXPECT_EQ(models::HostPool::effective_grain(6400, 0), 100);
+  EXPECT_EQ(models::HostPool::effective_grain(10, 0), 1);   // below 64 chunks
+  EXPECT_EQ(models::HostPool::effective_grain(6400, 17), 17);  // honoured
+
+  auto chunk_starts = [](unsigned threads) {
+    models::HostPool pool(threads);
+    std::mutex mu;
+    std::vector<std::int64_t> starts;
+    pool.parallel_for(0, 1000, [&](std::int64_t b, std::int64_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      starts.push_back(b);
+    });
+    std::sort(starts.begin(), starts.end());
+    return starts;
+  };
+  EXPECT_EQ(chunk_starts(1), chunk_starts(8));
+}
+
+// Reductions with irregular data and a remainder chunk are bit-identical at
+// 1, 2, and 8 threads — the fused kernels rely on exactly this property.
+TEST(HostPool, ReduceSumBitIdenticalAcrossThreadCounts) {
+  std::vector<double> data(9'973);  // prime: guarantees a ragged last chunk
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<double>(i)) * 1e3;
+  }
+  auto reduce_with = [&](unsigned threads, std::int64_t grain) {
+    models::HostPool pool(threads);
+    return pool.parallel_reduce_sum(
+        0, static_cast<std::int64_t>(data.size()),
+        [&](std::int64_t b, std::int64_t e) {
+          double acc = 0.0;
+          for (std::int64_t i = b; i < e; ++i) acc += data[i];
+          return acc;
+        },
+        grain);
+  };
+  for (const std::int64_t grain : {0ll, 1ll, 64ll, 1000ll}) {
+    const double at1 = reduce_with(1, grain);
+    EXPECT_EQ(at1, reduce_with(2, grain)) << "grain=" << grain;
+    EXPECT_EQ(at1, reduce_with(8, grain)) << "grain=" << grain;
+  }
+}
+
+// The combination order is the documented pairwise tree over chunk index,
+// not a running left-fold: check against a hand-rolled tree.
+TEST(HostPool, ReduceSumCombinesPairwiseInChunkOrder) {
+  constexpr std::int64_t kGrain = 10, kN = 100;
+  std::vector<double> data(kN);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1.0 + std::cos(static_cast<double>(i)) * 1e-7;
+  }
+  models::HostPool pool(4);
+  const double got = pool.parallel_reduce_sum(
+      0, kN,
+      [&](std::int64_t b, std::int64_t e) {
+        double acc = 0.0;
+        for (std::int64_t i = b; i < e; ++i) acc += data[i];
+        return acc;
+      },
+      kGrain);
+
+  std::vector<double> partials;
+  for (std::int64_t b = 0; b < kN; b += kGrain) {
+    double acc = 0.0;
+    for (std::int64_t i = b; i < std::min(b + kGrain, kN); ++i) acc += data[i];
+    partials.push_back(acc);
+  }
+  for (std::size_t width = 1; width < partials.size(); width *= 2) {
+    for (std::size_t i = 0; i + width < partials.size(); i += 2 * width) {
+      partials[i] += partials[i + width];
+    }
+  }
+  EXPECT_EQ(got, partials[0]);
 }
 
 // ---------------------------------------------------------------------------

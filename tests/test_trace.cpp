@@ -186,9 +186,9 @@ TEST(TraceSink, EventsCarryKernelIdPhaseAndIdentity) {
   for (const auto& ev : sink.events()) {
     EXPECT_EQ(ev.model, sim::Model::kKokkos);
     EXPECT_EQ(ev.device, sim::DeviceId::kGpuK20X);
-    if (ev.name == "cg_calc_w") {
+    if (ev.name == "cg_calc_w_fused") {  // the default CG path is fused
       saw_cg_calc_w = true;
-      EXPECT_EQ(ev.kernel_id, static_cast<int>(core::KernelId::kCgCalcW));
+      EXPECT_EQ(ev.kernel_id, static_cast<int>(core::KernelId::kCgCalcWFused));
       EXPECT_EQ(ev.phase, "cg");
       EXPECT_EQ(ev.kind, sim::TraceEvent::Kind::kLaunch);
     }
@@ -335,7 +335,7 @@ TEST(ChromeTrace, EmitsWellFormedJson) {
   EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
-  EXPECT_NE(json.find("\"cg_calc_w\""), std::string::npos);
+  EXPECT_NE(json.find("\"cg_calc_w_fused\""), std::string::npos);
   EXPECT_NE(json.find("\"cuda/cg\""), std::string::npos);
   EXPECT_NE(json.find("\"launch_factor\""), std::string::npos);
 }
@@ -402,9 +402,9 @@ TEST(TraceConservation, PhantomEventsSumToMeteredTimeForAllPairs) {
       std::set<std::string> names;
       for (const auto& p : agg.profiles()) names.insert(p.name);
       for (const char* expected :
-           {"init_u", "init_coef", "halo_update", "cg_init", "cg_calc_w",
-            "cg_calc_ur", "cg_calc_p", "finalise", "field_summary",
-            "upload_state", "download_energy"}) {
+           {"init_u", "init_coef", "halo_update", "cg_init", "cg_calc_w_fused",
+            "cg_fused_ur_p", "finalise", "field_summary", "upload_state",
+            "download_energy"}) {
         EXPECT_TRUE(names.count(expected))
             << expected << " missing for " << sim::model_name(model) << " on "
             << sim::device_spec(device).name;
