@@ -20,8 +20,16 @@
 // instead (the identical src/dist code path the conformance checker
 // exercises), and --trace=FILE writes a Chrome trace with one timeline row
 // per rank, comm events included. Both modes print the per-rank comm-bytes
-// table; the strong-scaling section must be monotone (total time
-// non-increasing in ranks) or the bench exits nonzero.
+// table.
+//
+// Every (solver, scaling, ranks) point runs twice — blocking halo exchange
+// and the overlapped pipeline (tl_overlap_comm) — and both rows land in the
+// CSV (`mode` column) plus the machine-readable BENCH_overlap.json. Gates,
+// enforced by nonzero exit:
+//   * blocking strong scaling stays monotone (total non-increasing in ranks);
+//   * overlap is never slower than blocking at any point, in either mode;
+//   * on the simulated (full-mode) leg, the overlapped pipeline hides at
+//     least 50% of the blocking comm time at 8 ranks, strong scaling.
 
 #include <algorithm>
 #include <array>
@@ -54,7 +62,9 @@ constexpr int kProbeMesh = 64;        // comm-count probe (full mode)
 constexpr int kSmokeStrongMesh = 256; // strong-scaling mesh under --smoke
 constexpr int kSmokeWeakBase = 160;   // per-rank mesh edge under --smoke
 
-/// One (solver, ranks) point of a scaling curve.
+/// One (solver, ranks) point of a scaling curve. With the overlapped
+/// pipeline, comm_s is the exposed share only and hidden_s the share that
+/// sat behind interior compute; blocking points have hidden_s == 0.
 struct ScalePoint {
   int ranks = 1;
   std::string grid = "1x1";
@@ -63,9 +73,25 @@ struct ScalePoint {
   int iterations = 0;
   double compute_s = 0.0;
   double comm_s = 0.0;
+  double hidden_s = 0.0;
   std::size_t comm_bytes_per_rank = 0;  // wire bytes (sent + received)
 
   double total() const { return compute_s + comm_s; }
+};
+
+/// One blocking-vs-overlap comparison, fed to the gates and the JSON.
+struct OverlapCell {
+  const char* scaling = "strong";
+  SolverKind solver{};
+  int ranks = 1;
+  double blocking_s = 0.0;
+  double blocking_comm_s = 0.0;
+  double overlap_s = 0.0;
+  double hidden_s = 0.0;
+
+  double hidden_fraction() const {
+    return blocking_comm_s > 0.0 ? hidden_s / blocking_comm_s : 0.0;
+  }
 };
 
 int neighbour_count(const comm::Tile& t) {
@@ -120,6 +146,10 @@ std::size_t halo_onedir_bytes(const comm::Tile& t, int halo_depth) {
 struct ProbeCounts {
   double halo_per_iter = 0.0;
   double allred_per_iter = 0.0;
+  /// Share of halo exchanges that ride the overlapped post/complete path
+  /// (the depth-1 single-field exchanges feeding the solver kernels),
+  /// measured on the real dist code path with tl_overlap_comm on.
+  double overlapped_per_iter = 0.0;
 };
 
 ProbeCounts probe_comm_counts(SolverKind solver) {
@@ -136,6 +166,7 @@ ProbeCounts probe_comm_counts(SolverKind solver) {
   return ProbeCounts{
       static_cast<double>(stats.halo_exchanges) / iters,
       static_cast<double>(stats.allreduces) / iters,
+      static_cast<double>(stats.overlapped_exchanges) / iters,
   };
 }
 
@@ -175,10 +206,17 @@ double tile_compute_seconds(const bench::Harness& harness, sim::Model model,
   return driver.run().sim_total_seconds;
 }
 
+/// Share of one outer iteration's compute available as the hiding window of
+/// one overlapped exchange: the consuming stencil kernel's interior sweep.
+/// Conservative floor — the consumer is one of at most a handful of kernels
+/// per iteration in every solver (CG splits the iteration over two fused
+/// kernels; Chebyshev/PPCG/Jacobi iterate in one).
+constexpr double kConsumerComputeShare = 0.25;
+
 ScalePoint modelled_point(const bench::Harness& harness, sim::Model model,
                           sim::DeviceId device, SolverKind solver,
                           int global_nx, int ranks, const ProbeCounts& probe,
-                          const sim::NetworkSpec& net) {
+                          const sim::NetworkSpec& net, bool overlap) {
   const comm::BlockDecomposition decomp(global_nx, global_nx, ranks);
   const comm::Tile& crit = critical_tile(decomp);
   const int halo_depth = core::Settings{}.halo_depth;
@@ -202,6 +240,21 @@ ScalePoint modelled_point(const bench::Harness& harness, sim::Model model,
     p.comm_s = (halo_count * halo_ns + allred_count * allred_ns) * 1e-9;
     p.comm_bytes_per_rank =
         static_cast<std::size_t>(halo_count * 2.0 * static_cast<double>(onedir));
+    if (overlap) {
+      // Mirror of DistributedKernels' accounting: each overlapped exchange
+      // hides min(wire time, the consuming kernel's interior compute charge)
+      // and exposes the remainder. Only the probe-measured share of the halo
+      // exchanges is eligible; allreduces stay fully exposed.
+      const double interior_frac =
+          (static_cast<double>(crit.nx() - 2) * (crit.ny() - 2)) /
+          (static_cast<double>(crit.nx()) * crit.ny());
+      const double compute_per_iter_ns = p.compute_s * 1e9 / p.iterations;
+      const double window_ns =
+          interior_frac * compute_per_iter_ns * kConsumerComputeShare;
+      const double eligible = probe.overlapped_per_iter * p.iterations;
+      p.hidden_s = eligible * std::min(halo_ns, window_ns) * 1e-9;
+      p.comm_s -= p.hidden_s;
+    }
   }
   return p;
 }
@@ -212,12 +265,13 @@ ScalePoint modelled_point(const bench::Harness& harness, sim::Model model,
 
 ScalePoint measured_point(sim::Model model, sim::DeviceId device,
                           SolverKind solver, int global_nx, int ranks,
-                          std::vector<sim::RecordingSink>* sinks,
+                          bool overlap, std::vector<sim::RecordingSink>* sinks,
                           std::vector<dist::RankReport>* rank_reports) {
   core::Settings s = core::Settings::default_problem();
   s.nx = s.ny = global_nx;
   s.solver = solver;
   s.nranks = ranks;
+  s.overlap_comm = overlap;
   if (solver == SolverKind::kPpcg) {
     s.ppcg_inner_steps = core::recommended_ppcg_inner_steps(global_nx);
   }
@@ -245,7 +299,8 @@ ScalePoint measured_point(sim::Model model, sim::DeviceId device,
   p.tile_nx = slowest->tile.nx();
   p.tile_ny = slowest->tile.ny();
   p.iterations = rep.run.steps.back().solve.iterations;
-  p.comm_s = slowest->comm.comm_ns * 1e-9;
+  p.comm_s = slowest->comm.comm_ns * 1e-9;  // exposed share under overlap
+  p.hidden_s = slowest->comm.hidden_ns * 1e-9;
   p.compute_s = rep.run.sim_total_seconds - p.comm_s;
   p.comm_bytes_per_rank = slowest->comm.bytes;
   if (rank_reports != nullptr) *rank_reports = rep.ranks;
@@ -256,14 +311,14 @@ ScalePoint measured_point(sim::Model model, sim::DeviceId device,
 // Output
 // ---------------------------------------------------------------------------
 
-void print_section(const char* scaling, SolverKind solver,
+void print_section(const char* scaling, const char* mode, SolverKind solver,
                    const std::vector<ScalePoint>& points,
                    util::CsvWriter& csv, sim::Model model,
                    sim::DeviceId device) {
-  std::printf("-- %s scaling: %s --\n", scaling,
+  std::printf("-- %s scaling (%s): %s --\n", scaling, mode,
               std::string(core::solver_name(solver)).c_str());
   util::Table table({"Ranks", "Grid", "Mesh", "Tile", "Iters", "Compute s",
-                     "Comm s", "Total s", "Speedup", "Eff"});
+                     "Comm s", "Hidden s", "Total s", "Speedup", "Eff"});
   const double t1 = points.front().total();
   for (const ScalePoint& p : points) {
     const double speedup = t1 / p.total();
@@ -271,21 +326,62 @@ void print_section(const char* scaling, SolverKind solver,
                util::strf("%d^2", p.global_nx),
                util::strf("%dx%d", p.tile_nx, p.tile_ny),
                util::strf("%d", p.iterations), util::strf("%.3f", p.compute_s),
-               util::strf("%.3f", p.comm_s), util::strf("%.3f", p.total()),
-               util::strf("%.2f", speedup),
+               util::strf("%.3f", p.comm_s), util::strf("%.3f", p.hidden_s),
+               util::strf("%.3f", p.total()), util::strf("%.2f", speedup),
                util::strf("%.2f", speedup / p.ranks)});
-    csv.row({scaling, std::string(sim::model_id(model)),
+    csv.row({scaling, mode, std::string(sim::model_id(model)),
              std::string(sim::device_short_name(device)),
              std::string(core::solver_name(solver)),
              util::strf("%d", p.ranks), p.grid, util::strf("%d", p.global_nx),
              util::strf("%d", p.tile_nx), util::strf("%d", p.tile_ny),
              util::strf("%d", p.iterations), util::strf("%.6f", p.compute_s),
-             util::strf("%.6f", p.comm_s), util::strf("%.6f", p.total()),
+             util::strf("%.6f", p.comm_s), util::strf("%.6f", p.hidden_s),
+             util::strf("%.6f", p.total()),
              util::strf("%.4f", speedup), util::strf("%.4f", speedup / p.ranks),
              util::strf("%zu", p.comm_bytes_per_rank)});
   }
   table.print();
   std::printf("\n");
+}
+
+void collect_cells(std::vector<OverlapCell>& out, const char* scaling,
+                   SolverKind solver, const std::vector<ScalePoint>& blocking,
+                   const std::vector<ScalePoint>& overlap) {
+  for (std::size_t i = 0; i < blocking.size(); ++i) {
+    out.push_back(OverlapCell{scaling, solver, blocking[i].ranks,
+                              blocking[i].total(), blocking[i].comm_s,
+                              overlap[i].total(), overlap[i].hidden_s});
+  }
+}
+
+void write_overlap_json(const std::vector<OverlapCell>& cells, bool smoke,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAILED to write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig13_overlap\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"gates\": {\"overlap_never_slower\": true, "
+                  "\"min_hidden_fraction_strong_8\": %s},\n",
+               smoke ? "null" : "0.5");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const OverlapCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"scaling\": \"%s\", \"solver\": \"%s\", \"ranks\": %d, "
+        "\"blocking_s\": %.6f, \"blocking_comm_s\": %.6f, "
+        "\"overlap_s\": %.6f, \"hidden_s\": %.6f, "
+        "\"hidden_fraction\": %.4f}%s\n",
+        c.scaling, std::string(core::solver_name(c.solver)).c_str(), c.ranks,
+        c.blocking_s, c.blocking_comm_s, c.overlap_s, c.hidden_s,
+        c.hidden_fraction(), i + 1 == cells.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON written to %s\n", path.c_str());
 }
 
 }  // namespace
@@ -318,67 +414,94 @@ int main(int argc, char** argv) {
 
   util::CsvWriter csv(
       "fig13_scaling.csv",
-      {"scaling", "model", "device", "solver", "ranks", "grid", "global_nx",
-       "tile_nx", "tile_ny", "iterations", "compute_s", "comm_s", "total_s",
-       "speedup", "efficiency", "comm_bytes_per_rank"});
+      {"scaling", "mode", "model", "device", "solver", "ranks", "grid",
+       "global_nx", "tile_nx", "tile_ny", "iterations", "compute_s", "comm_s",
+       "hidden_s", "total_s", "speedup", "efficiency", "comm_bytes_per_rank"});
 
   bool monotone = true;
+  std::vector<OverlapCell> overlap_cells;
   std::vector<dist::RankReport> comm_table;  // per-rank bytes (largest R, CG)
   std::vector<sim::RecordingSink> trace_sinks;
 
   if (smoke) {
     // Real distributed solves: the same src/dist code path tl_verify --ranks
-    // checks, here timed and tallied. Trace sinks ride the largest CG run.
+    // checks, here timed and tallied, once blocking and once overlapped.
+    // Trace sinks ride the largest overlapped CG run (overlap events shown).
     for (const SolverKind solver : core::kAllSolvers) {
-      std::vector<ScalePoint> strong;
+      std::vector<ScalePoint> strong, strong_ov;
       for (const int ranks : kRankLadder) {
         const bool traced =
             solver == SolverKind::kCg && ranks == kRankLadder.back();
-        strong.push_back(measured_point(
-            *model, *device, solver, strong_mesh, ranks,
+        strong.push_back(measured_point(*model, *device, solver, strong_mesh,
+                                        ranks, /*overlap=*/false, nullptr,
+                                        nullptr));
+        strong_ov.push_back(measured_point(
+            *model, *device, solver, strong_mesh, ranks, /*overlap=*/true,
             traced && !trace_path.empty() ? &trace_sinks : nullptr,
             traced ? &comm_table : nullptr));
       }
-      print_section("strong", solver, strong, csv, *model, *device);
+      print_section("strong", "blocking", solver, strong, csv, *model,
+                    *device);
+      print_section("strong", "overlap", solver, strong_ov, csv, *model,
+                    *device);
+      collect_cells(overlap_cells, "strong", solver, strong, strong_ov);
       for (std::size_t i = 1; i < strong.size(); ++i) {
         if (strong[i].total() > strong[i - 1].total()) monotone = false;
       }
-      std::vector<ScalePoint> weak;
+      std::vector<ScalePoint> weak, weak_ov;
       for (const int ranks : kRankLadder) {
         const int nx = static_cast<int>(
             std::lround(weak_base * std::sqrt(static_cast<double>(ranks))));
         weak.push_back(measured_point(*model, *device, solver, nx, ranks,
-                                      nullptr, nullptr));
+                                      /*overlap=*/false, nullptr, nullptr));
+        weak_ov.push_back(measured_point(*model, *device, solver, nx, ranks,
+                                         /*overlap=*/true, nullptr, nullptr));
       }
-      print_section("weak", solver, weak, csv, *model, *device);
+      print_section("weak", "blocking", solver, weak, csv, *model, *device);
+      print_section("weak", "overlap", solver, weak_ov, csv, *model, *device);
+      collect_cells(overlap_cells, "weak", solver, weak, weak_ov);
     }
   } else {
     bench::Harness harness;
     harness.print_calibration();
     for (const SolverKind solver : core::kAllSolvers) {
       const ProbeCounts probe = probe_comm_counts(solver);
-      std::printf("probe [%s]: %.2f halo exchanges + %.2f allreduces per "
-                  "outer iteration (measured at %d^2 x 4 ranks)\n",
+      std::printf("probe [%s]: %.2f halo exchanges (%.2f overlapped) + %.2f "
+                  "allreduces per outer iteration (measured at %d^2 x 4 "
+                  "ranks)\n",
                   std::string(core::solver_name(solver)).c_str(),
-                  probe.halo_per_iter, probe.allred_per_iter, kProbeMesh);
-      std::vector<ScalePoint> strong;
+                  probe.halo_per_iter, probe.overlapped_per_iter,
+                  probe.allred_per_iter, kProbeMesh);
+      std::vector<ScalePoint> strong, strong_ov;
       for (const int ranks : kRankLadder) {
         strong.push_back(modelled_point(harness, *model, *device, solver,
-                                        strong_mesh, ranks, probe, net));
+                                        strong_mesh, ranks, probe, net,
+                                        /*overlap=*/false));
+        strong_ov.push_back(modelled_point(harness, *model, *device, solver,
+                                           strong_mesh, ranks, probe, net,
+                                           /*overlap=*/true));
       }
       std::printf("\n");
-      print_section("strong", solver, strong, csv, *model, *device);
+      print_section("strong", "blocking", solver, strong, csv, *model,
+                    *device);
+      print_section("strong", "overlap", solver, strong_ov, csv, *model,
+                    *device);
+      collect_cells(overlap_cells, "strong", solver, strong, strong_ov);
       for (std::size_t i = 1; i < strong.size(); ++i) {
         if (strong[i].total() > strong[i - 1].total()) monotone = false;
       }
-      std::vector<ScalePoint> weak;
+      std::vector<ScalePoint> weak, weak_ov;
       for (const int ranks : kRankLadder) {
         const int nx = static_cast<int>(
             std::lround(weak_base * std::sqrt(static_cast<double>(ranks))));
         weak.push_back(modelled_point(harness, *model, *device, solver, nx,
-                                      ranks, probe, net));
+                                      ranks, probe, net, /*overlap=*/false));
+        weak_ov.push_back(modelled_point(harness, *model, *device, solver, nx,
+                                         ranks, probe, net, /*overlap=*/true));
       }
-      print_section("weak", solver, weak, csv, *model, *device);
+      print_section("weak", "blocking", solver, weak, csv, *model, *device);
+      print_section("weak", "overlap", solver, weak_ov, csv, *model, *device);
+      collect_cells(overlap_cells, "weak", solver, weak, weak_ov);
     }
     // Per-rank comm bytes at the largest strong-scaling point (CG): the
     // analytic mirror of the smoke mode's measured table.
@@ -407,8 +530,8 @@ int main(int argc, char** argv) {
   if (!comm_table.empty()) {
     std::printf("-- per-rank comm, strong CG at %d ranks (measured) --\n",
                 kRankLadder.back());
-    util::Table table(
-        {"Rank", "Tile", "Halo exchanges", "Allreduces", "Bytes", "Comm s"});
+    util::Table table({"Rank", "Tile", "Halo exchanges", "Allreduces", "Bytes",
+                       "Comm s", "Hidden s"});
     for (const dist::RankReport& r : comm_table) {
       table.row({util::strf("%d", r.rank),
                  util::strf("%dx%d", r.tile.nx(), r.tile.ny()),
@@ -417,7 +540,8 @@ int main(int argc, char** argv) {
                  util::strf("%llu",
                             static_cast<unsigned long long>(r.comm.allreduces)),
                  util::strf("%zu", r.comm.bytes),
-                 util::strf("%.6f", r.comm.comm_ns * 1e-9)});
+                 util::strf("%.6f", r.comm.comm_ns * 1e-9),
+                 util::strf("%.6f", r.comm.hidden_ns * 1e-9)});
     }
     table.print();
     std::printf("\n");
@@ -443,8 +567,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  write_overlap_json(overlap_cells, smoke, "BENCH_overlap.json");
+
+  bool overlap_ok = true;
+  bool hidden_ok = true;
+  for (const OverlapCell& c : overlap_cells) {
+    if (c.overlap_s > c.blocking_s) {
+      overlap_ok = false;
+      std::printf("GATE: overlap slower than blocking at %s/%s/%d ranks "
+                  "(%.6f s vs %.6f s)\n",
+                  c.scaling, std::string(core::solver_name(c.solver)).c_str(),
+                  c.ranks, c.overlap_s, c.blocking_s);
+    }
+    if (!smoke && std::string(c.scaling) == "strong" &&
+        c.ranks == kRankLadder.back() && c.hidden_fraction() < 0.5) {
+      hidden_ok = false;
+      std::printf("GATE: only %.1f%% of blocking comm hidden at strong/%s/%d "
+                  "ranks (need >= 50%%)\n",
+                  100.0 * c.hidden_fraction(),
+                  std::string(core::solver_name(c.solver)).c_str(), c.ranks);
+    }
+  }
+
   std::printf("CSV written to fig13_scaling.csv\n");
   std::printf("strong scaling monotone 1->%d ranks: %s\n", kRankLadder.back(),
               monotone ? "yes" : "NO — REGRESSION");
-  return monotone ? 0 : 1;
+  std::printf("overlap never slower than blocking: %s\n",
+              overlap_ok ? "yes" : "NO — REGRESSION");
+  if (!smoke) {
+    std::printf(">=50%% of comm hidden at strong %d ranks: %s\n",
+                kRankLadder.back(), hidden_ok ? "yes" : "NO — REGRESSION");
+  }
+  return (monotone && overlap_ok && hidden_ok) ? 0 : 1;
 }

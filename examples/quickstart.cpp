@@ -18,6 +18,7 @@
 // summarised, --profile folds every rank's events (including the "comm"
 // phase) into one table, and --trace writes one trace group per rank.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -127,18 +128,29 @@ int main(int argc, char** argv) {
       report.achieved_bandwidth_gbs);
 
   if (!rank_reports.empty()) {
+    const bool overlapped =
+        std::any_of(rank_reports.begin(), rank_reports.end(),
+                    [](const dist::RankReport& r) {
+                      return r.comm.overlapped_exchanges > 0;
+                    });
     std::printf("\ndecomposed over %d ranks (%s halo protocol, %s):\n", ranks,
-                "x-then-y", std::string(sim::node_interconnect().name).c_str());
+                overlapped ? "overlapped" : "x-then-y",
+                std::string(sim::node_interconnect().name).c_str());
     for (const dist::RankReport& r : rank_reports) {
       std::printf(
           "  rank %d: tile %dx%d at (%d,%d) | %llu halo exchanges, "
-          "%llu allreduces, %.2f MB exchanged, comm %s\n",
+          "%llu allreduces, %.2f MB exchanged, comm %s",
           r.rank, r.tile.x_end - r.tile.x_begin, r.tile.y_end - r.tile.y_begin,
           r.tile.x_begin, r.tile.y_begin,
           static_cast<unsigned long long>(r.comm.halo_exchanges),
           static_cast<unsigned long long>(r.comm.allreduces),
           static_cast<double>(r.comm.bytes) / 1e6,
           util::human_seconds(r.comm.comm_ns * 1e-9).c_str());
+      if (r.comm.overlapped_exchanges > 0) {
+        std::printf(" (+%s hidden)",
+                    util::human_seconds(r.comm.hidden_ns * 1e-9).c_str());
+      }
+      std::printf("\n");
     }
   }
 

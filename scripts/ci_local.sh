@@ -46,6 +46,12 @@ run_leg() { # run_leg <preset> <cc> <cxx>
 
   note "fusion gates: bench_fusion --smoke (${preset} / ${cc})"
   (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fusion" --smoke)
+
+  note "overlap gates: bench_fig13_scaling --smoke (${preset} / ${cc})"
+  # Real decomposed solves, blocking vs overlapped; the bench exits nonzero
+  # if overlap is ever slower than blocking. Writes BENCH_overlap.json.
+  (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fig13_scaling" --smoke >/dev/null)
+  echo "overlap JSON: bench-smoke-${preset}-${cc}/BENCH_overlap.json"
 }
 
 run_tsan() { # run_tsan <cc> <cxx>
@@ -54,13 +60,14 @@ run_tsan() { # run_tsan <cc> <cxx>
   note "leg: tsan / ${cc} (threading suites)"
   CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist
+    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist tests_regions
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_fusion"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_ports"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_verify"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_comm"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_dist"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_regions"
 }
 
 compilers=()

@@ -69,7 +69,21 @@ HaloExchanger::HaloExchanger(const BlockDecomposition& decomp, int rank,
           std::max(tile_.ny(), tile_.nx() + 2 * halo_depth));
   send_buf_.resize(max_strip);
   recv_buf_.resize(max_strip);
+  for (auto& buf : post_recv_bufs_) buf.resize(max_strip);
 }
+
+namespace {
+// Shared by exchange() and post(): a tag whose derived sub-tags would reach
+// the reserved collective range silently aliases collective traffic — turn
+// that into a diagnosable error up front.
+void check_tag_range(int tag) {
+  if (tag < 0 || tag * 8 + 7 >= kCollectiveTagBase) {
+    throw std::invalid_argument(
+        "HaloExchanger: tag out of range — tag * 8 + subtag must stay below "
+        "the reserved collective tag base (1 << 24)");
+  }
+}
+}  // namespace
 
 void HaloExchanger::pack(Span2D<const double> field, Face face, int depth,
                          std::vector<double>& buf) const {
@@ -144,6 +158,7 @@ void HaloExchanger::exchange(Communicator& comm, Span2D<double> field,
   if (depth <= 0 || depth > halo_depth_) {
     throw std::invalid_argument("HaloExchanger: bad exchange depth");
   }
+  check_tag_range(tag);
   // Phase 1: x direction over interior rows; phase 2: y direction over the
   // full (halo-included) width so corner data propagates diagonally.
   const std::size_t x_count = static_cast<std::size_t>(depth) *
@@ -171,6 +186,85 @@ void HaloExchanger::exchange(Communicator& comm, Span2D<double> field,
   swap_face(Face::kBottom, Face::kTop, y_count, 2);
   swap_face(Face::kTop, Face::kBottom, y_count, 3);
   reflect_y_if_physical(field);
+}
+
+namespace {
+struct Direction {
+  Face send_face;
+  Face recv_face;
+  int subtag;
+};
+// Same direction/subtag order as exchange()'s swap_face sequence.
+constexpr Direction kDirections[4] = {
+    {Face::kLeft, Face::kRight, 0},
+    {Face::kRight, Face::kLeft, 1},
+    {Face::kBottom, Face::kTop, 2},
+    {Face::kTop, Face::kBottom, 3},
+};
+}  // namespace
+
+void HaloExchanger::post(Communicator& comm, Span2D<const double> field,
+                         int tag) {
+  if (pending_) {
+    throw std::logic_error(
+        "HaloExchanger::post: previous overlapped exchange not completed");
+  }
+  check_tag_range(tag);
+  constexpr int depth = 1;  // see header: corner staleness bounds us to 1
+  const std::size_t x_count = static_cast<std::size_t>(tile_.ny());
+  const std::size_t y_count = static_cast<std::size_t>(field.nx());
+  for (const Direction& d : kDirections) {
+    const std::size_t count = d.subtag < 2 ? x_count : y_count;
+    const int dest = tile_.neighbour_of(d.send_face);
+    const int source = tile_.neighbour_of(d.recv_face);
+    if (dest >= 0) {
+      // Sends are buffered, so one scratch buffer serves all four packs.
+      pack(field, d.send_face, depth, send_buf_);
+      comm.isend(std::span<const double>(send_buf_.data(), count), dest,
+                 tag * 8 + d.subtag);
+    }
+    auto& req = post_reqs_[static_cast<std::size_t>(d.subtag)];
+    if (source >= 0) {
+      auto& buf = post_recv_bufs_[static_cast<std::size_t>(d.subtag)];
+      req = comm.irecv(std::span<double>(buf.data(), count), source,
+                       tag * 8 + d.subtag);
+    } else {
+      req = CommRequest{};  // nothing to wait for on this side
+    }
+  }
+  pending_ = true;
+}
+
+void HaloExchanger::complete(Communicator& comm, Span2D<double> field) {
+  (void)comm;  // requests carry their own world handle
+  if (!pending_) {
+    throw std::logic_error(
+        "HaloExchanger::complete: no overlapped exchange pending");
+  }
+  constexpr int depth = 1;
+  // Receiver-side order matches exchange(): x faces, physical-x reflect,
+  // y faces, physical-y reflect (corner fill relies on it).
+  for (int i = 0; i < 2; ++i) {
+    const Direction& d = kDirections[i];
+    if (tile_.neighbour_of(d.recv_face) >= 0) {
+      auto& req = post_reqs_[static_cast<std::size_t>(d.subtag)];
+      req.wait();
+      unpack(field, d.recv_face, depth,
+             post_recv_bufs_[static_cast<std::size_t>(d.subtag)]);
+    }
+  }
+  reflect_x_if_physical(field);
+  for (int i = 2; i < 4; ++i) {
+    const Direction& d = kDirections[i];
+    if (tile_.neighbour_of(d.recv_face) >= 0) {
+      auto& req = post_reqs_[static_cast<std::size_t>(d.subtag)];
+      req.wait();
+      unpack(field, d.recv_face, depth,
+             post_recv_bufs_[static_cast<std::size_t>(d.subtag)]);
+    }
+  }
+  reflect_y_if_physical(field);
+  pending_ = false;
 }
 
 }  // namespace tl::comm

@@ -9,9 +9,8 @@
 namespace tl::comm {
 
 namespace {
-// Tags at or above this value are reserved for collectives built on
-// point-to-point messaging.
-constexpr int kCollectiveTagBase = 1 << 24;
+// kCollectiveTagBase lives in the header so user-level tag schemes can
+// assert they stay below the reserved collective range.
 constexpr int kTagBroadcast = kCollectiveTagBase + 1;
 constexpr int kTagReduceUp = kCollectiveTagBase + 2;
 constexpr int kTagReduceDown = kCollectiveTagBase + 3;
@@ -85,6 +84,23 @@ void World::recv_impl(int rank, int source, int tag, std::span<double> data) {
   }
 }
 
+bool World::try_recv_impl(int rank, int source, int tag,
+                          std::span<double> data) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  const auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                               [&](const Message& m) {
+                                 return m.source == source && m.tag == tag;
+                               });
+  if (it == box.messages.end()) return false;
+  if (it->payload.size() != data.size()) {
+    throw std::runtime_error("recv: message size mismatch");
+  }
+  std::copy(it->payload.begin(), it->payload.end(), data.begin());
+  box.messages.erase(it);
+  return true;
+}
+
 void World::barrier_impl() {
   std::unique_lock<std::mutex> lock(collective_.mutex);
   const std::uint64_t my_generation = collective_.generation;
@@ -111,6 +127,39 @@ void Communicator::send(std::span<const double> data, int dest, int tag) {
 
 void Communicator::recv(std::span<double> data, int source, int tag) {
   world_->recv_impl(rank_, source, tag, data);
+}
+
+CommRequest Communicator::isend(std::span<const double> data, int dest,
+                                int tag) {
+  // Sends are buffered and never block, so the "nonblocking" send is
+  // complete by the time it returns — exactly MPI_Isend over an eager
+  // protocol with unlimited buffering.
+  world_->send_impl(rank_, dest, tag, data);
+  return CommRequest{};
+}
+
+CommRequest Communicator::irecv(std::span<double> data, int source, int tag) {
+  return CommRequest(world_, rank_, source, tag, data);
+}
+
+void Communicator::wait_all(std::span<CommRequest> reqs) {
+  for (CommRequest& r : reqs) r.wait();
+}
+
+// ---------------------------------------------------------------------------
+// CommRequest
+// ---------------------------------------------------------------------------
+
+bool CommRequest::test() {
+  if (done_) return true;
+  done_ = world_->try_recv_impl(rank_, source_, tag_, dest_);
+  return done_;
+}
+
+void CommRequest::wait() {
+  if (done_) return;
+  world_->recv_impl(rank_, source_, tag_, dest_);
+  done_ = true;
 }
 
 void Communicator::sendrecv(std::span<const double> send_data, int dest,

@@ -53,6 +53,25 @@ inline double combine_chains(const double* c) {
   return (c[0] + c[2]) + (c[1] + c[3]);
 }
 
+/// Recomputes fused_w_row's {p.w, w.w} from an already-written w row,
+/// preserving the positional four-chain accumulation bit-for-bit: chain
+/// (i - b) & 3 sees its elements in the same ascending-i order as both the
+/// unrolled scalar and the SSE2 lane accumulators, so the result is
+/// identical whether the row was swept whole or assembled region-by-region
+/// (the overlap pipeline's finish path relies on this).
+inline RowDots fused_w_row_dots(const double* __restrict p,
+                                const double* __restrict w, std::size_t b,
+                                std::size_t e) {
+  double cpw[4] = {0.0, 0.0, 0.0, 0.0};
+  double cww[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = b; i < e; ++i) {
+    const double ap = w[i];
+    cpw[(i - b) & 3] += ap * p[i];
+    cww[(i - b) & 3] += ap * ap;
+  }
+  return RowDots{combine_chains(cpw), combine_chains(cww)};
+}
+
 // -- Portable fallback ------------------------------------------------------
 
 /// w = A p over one row [b, e): returns {p.w, w.w}.

@@ -50,10 +50,44 @@ enum KernelCaps : unsigned {
   kCapChebyFused = 1u << 2,     // cheby_fused_iterate
   kCapPpcgFused = 1u << 3,      // ppcg_fused_inner
   kCapJacobiFused = 1u << 4,    // jacobi_fused_copy_iterate
+  kCapRegions = 1u << 5,        // region-parameterised sweeps (*_region)
 };
+/// Note: kCapRegions is deliberately NOT part of kAllKernelCaps. The fused
+/// bits describe what the solver drivers may call on a single chunk; the
+/// regions bit is a distributed-overlap capability that individual ports opt
+/// into (reference + omp3 today). Ports without it automatically fall back
+/// to full-sweep kernels behind a blocking halo exchange.
 inline constexpr unsigned kAllKernelCaps = kCapCgFused | kCapResidualNorm |
                                            kCapChebyFused | kCapPpcgFused |
                                            kCapJacobiFused;
+
+/// Sub-domain of a tile's interior for the region-parameterised sweeps
+/// (kCapRegions). The interior region is inset one cell from every interior
+/// edge, so it reads no halo data and can run while a depth-1 halo exchange
+/// is still in flight; the four edge regions form the one-deep boundary ring
+/// that runs after the exchange completes. In padded coordinates with halo
+/// depth h and interior nx x ny:
+///   kInterior: x in [h+1, h+nx-1), y in [h+1, h+ny-1)
+///   kSouth:    y = h,        x in [h, h+nx)
+///   kNorth:    y = h+ny-1,   x in [h, h+nx)      (empty when ny < 2)
+///   kWest:     x = h,        y in [h+1, h+ny-1)
+///   kEast:     x = h+nx-1,   y in [h+1, h+ny-1)  (empty when nx < 2)
+/// The five regions partition the interior exactly (each cell visited once)
+/// for any nx, ny >= 1 — including 1-cell-tall tiles and rings wider than
+/// the interior.
+enum class Region { kInterior, kSouth, kNorth, kWest, kEast };
+
+/// The edge regions, in the fixed sweep order the distributed pipeline uses.
+inline constexpr Region kEdgeRegions[4] = {Region::kSouth, Region::kNorth,
+                                           Region::kWest, Region::kEast};
+
+/// Half-open cell range of `region` (see the geometry table above). Empty
+/// ranges (x0 >= x1 or y0 >= y1) are valid and mean "no cells".
+struct RegionBounds {
+  int x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  bool empty() const noexcept { return x0 >= x1 || y0 >= y1; }
+};
+RegionBounds region_bounds(Region region, int halo_depth, int nx, int ny);
 
 /// The two dot products a fused w = A p sweep produces in one pass. The
 /// solver also needs r.w to predict the next residual norm, but CG's
@@ -148,6 +182,38 @@ class SolverKernels {
 
   /// jacobi_copy_u + jacobi_iterate without materialising the copy sweep.
   virtual void jacobi_fused_copy_iterate();
+
+  // -- Region sweeps (optional; gated by caps() & kCapRegions) ---------------
+  // Split forms of the matrix-powers sweeps for comm/compute overlap: the
+  // distributed decorator calls the kInterior region while a depth-1 halo
+  // exchange is in flight, completes the exchange, sweeps the four edge
+  // regions (in kEdgeRegions order), then calls the matching *_finish to
+  // produce the kernel's reductions / deferred updates. A port MUST make the
+  // split bit-identical to the corresponding full-sweep kernel: identical
+  // per-cell arithmetic, and reductions recomputed in the full sweep's exact
+  // accumulation order once all cells are written (never combined by region
+  // completion order). Defaults throw, mirroring the fused kernels.
+
+  /// w = A p over `region` (field update only; no reduction).
+  virtual void cg_calc_w_region(Region region);
+  /// pw = p.w recomputed over the full interior (classic cg_calc_w's order).
+  virtual double cg_calc_w_region_finish();
+  /// Same sweep as cg_calc_w_region; paired with the fused finish.
+  virtual void cg_calc_w_fused_region(Region region);
+  /// {pw, ww} recomputed in cg_calc_w_fused's exact accumulation order.
+  virtual CgFusedW cg_calc_w_fused_region_finish();
+  /// cheby_fused_iterate's sweep over `region` (deferred u-swap in finish).
+  virtual void cheby_fused_region(double alpha, double beta, Region region);
+  virtual void cheby_fused_region_finish();
+  /// ppcg_fused_inner's sweep over `region` (deferred sd-swap in finish).
+  virtual void ppcg_fused_region(double alpha, double beta, Region region);
+  virtual void ppcg_fused_region_finish(double alpha, double beta);
+  /// jacobi_fused_copy_iterate split: the kInterior call performs the
+  /// ping-pong swap (old u becomes w) before sweeping, so the in-flight
+  /// exchange must target the pre-swap u storage (the distributed decorator
+  /// captures the field view at post time).
+  virtual void jacobi_fused_region(Region region);
+  virtual void jacobi_fused_region_finish();
 
   // -- Results / instrumentation -------------------------------------------
   /// Copies the current solution u into `out` (padded layout). For offload

@@ -45,13 +45,28 @@ class ReferenceKernels final : public SolverKernels {
   void jacobi_copy_u() override;
   void jacobi_iterate() override;
 
-  unsigned caps() const override { return kAllKernelCaps; }
+  unsigned caps() const override { return kAllKernelCaps | kCapRegions; }
   CgFusedW cg_calc_w_fused() override;
   double cg_fused_ur_p(double alpha, double beta_prev) override;
   double fused_residual_norm() override;
   void cheby_fused_iterate(double alpha, double beta) override;
   void ppcg_fused_inner(double alpha, double beta) override;
   void jacobi_fused_copy_iterate() override;
+
+  // Region sweeps for the overlapped halo pipeline (kCapRegions). Sweeps run
+  // serially (the oracle meters nothing); reductions are recomputed in the
+  // full-sweep kernels' exact accumulation order once every region has been
+  // written, so interior+edges+finish is bit-identical to one full sweep.
+  void cg_calc_w_region(Region region) override;
+  double cg_calc_w_region_finish() override;
+  void cg_calc_w_fused_region(Region region) override;
+  CgFusedW cg_calc_w_fused_region_finish() override;
+  void cheby_fused_region(double alpha, double beta, Region region) override;
+  void cheby_fused_region_finish() override;
+  void ppcg_fused_region(double alpha, double beta, Region region) override;
+  void ppcg_fused_region_finish(double alpha, double beta) override;
+  void jacobi_fused_region(Region region) override;
+  void jacobi_fused_region_finish() override;
 
   void read_u(tl::util::Span2D<double> out) override;
   void download_energy(Chunk& chunk) override;

@@ -39,6 +39,7 @@ Settings Settings::from_config(const tl::util::IniConfig& cfg) {
   s.cg_prep_iters =
       static_cast<int>(cfg.get_long_or("tl_chebyshev_prep_iters", s.cg_prep_iters));
   s.use_fused = cfg.get_bool_or("tl_use_fused", s.use_fused);
+  s.overlap_comm = cfg.get_bool_or("tl_overlap_comm", s.overlap_comm);
 
   if (cfg.get_bool_or("tl_use_jacobi", false)) s.solver = SolverKind::kJacobi;
   if (cfg.get_bool_or("tl_use_cg", false)) s.solver = SolverKind::kCg;

@@ -66,6 +66,8 @@ struct Settings {
   int check_interval = 20;  // Chebyshev true-residual check cadence
   double eigen_safety = 0.10;  // widen the estimated spectrum by this factor
   bool use_fused = true;    // dispatch caps()-advertised fused kernels
+  bool overlap_comm = true;  // overlap halo exchange with interior compute
+                             // (multi-rank, regions-capable ports only)
 
   // Initial states: states[0] is the background (whole domain); later
   // entries paint rectangles over it.

@@ -111,7 +111,8 @@ DistReport DistributedDriver::run() {
     paint.ny = mesh.ny;
     core::apply_initial_states(chunk, paint);
 
-    DistributedKernels k(factory_(mesh, rank), cm, decomp_, h, *net_);
+    DistributedKernels k(factory_(mesh, rank), cm, decomp_, h, *net_,
+                         settings_.overlap_comm);
     if (static_cast<std::size_t>(rank) < sinks_.size() &&
         sinks_[static_cast<std::size_t>(rank)] != nullptr) {
       k.attach_trace_sink(sinks_[static_cast<std::size_t>(rank)]);

@@ -25,7 +25,12 @@ struct CommStats {
   std::uint64_t halo_exchanges = 0;  // per-field exchange operations
   std::uint64_t allreduces = 0;
   std::size_t bytes = 0;             // wire bytes this rank moved (both ways)
-  double comm_ns = 0.0;              // simulated interconnect time charged
+  double comm_ns = 0.0;   // simulated interconnect time charged (exposed)
+  // Overlapped-pipeline split: exchanges routed through post/complete, and
+  // the simulated wire time they hid behind interior compute (comm_ns only
+  // accumulates the exposed remainder for those exchanges).
+  std::uint64_t overlapped_exchanges = 0;
+  double hidden_ns = 0.0;
 };
 
 class DistributedKernels final : public core::SolverKernels {
@@ -33,10 +38,18 @@ class DistributedKernels final : public core::SolverKernels {
   /// Wraps `inner` for `comm.rank()`'s tile of `decomp`. `halo_depth` is the
   /// mesh halo depth (exchange depth may be shallower per call). The
   /// communicator, decomposition, and network spec must outlive this object.
+  ///
+  /// With `overlap_comm` (and an inner port advertising kCapRegions), the
+  /// depth-1 single-field exchanges that precede the fused solver kernels are
+  /// posted nonblocking in halo_update and completed inside the consuming
+  /// kernel between its interior and boundary sweeps, so the simulated wire
+  /// time hides behind the interior compute charge. Everything else — and
+  /// everything when the flag is off — takes the classic blocking path.
   DistributedKernels(std::unique_ptr<core::SolverKernels> inner,
                      comm::Communicator& comm,
                      const comm::BlockDecomposition& decomp, int halo_depth,
-                     const sim::NetworkSpec& net = sim::node_interconnect());
+                     const sim::NetworkSpec& net = sim::node_interconnect(),
+                     bool overlap_comm = true);
 
   // -- Forwarded with distribution -----------------------------------------
   void halo_update(unsigned fields, int depth) override;
@@ -49,11 +62,13 @@ class DistributedKernels final : public core::SolverKernels {
   double cg_fused_ur_p(double alpha, double beta_prev) override;
   double fused_residual_norm() override;
 
-  // -- Forwarded verbatim ---------------------------------------------------
+  // -- Forwarded, consuming a pending overlapped exchange when one matches --
   unsigned caps() const override { return inner_->caps(); }
   void cheby_fused_iterate(double alpha, double beta) override;
   void ppcg_fused_inner(double alpha, double beta) override;
   void jacobi_fused_copy_iterate() override;
+
+  // -- Forwarded verbatim (after draining any pending exchange) -------------
   void upload_state(const core::Chunk& chunk) override;
   void init_u() override;
   void init_coefficients(core::Coefficient coefficient, double rx,
@@ -82,6 +97,33 @@ class DistributedKernels final : public core::SolverKernels {
   void meter_comm(const char* name, std::size_t sent, std::size_t received,
                   double ns);
 
+  // -- Overlapped halo pipeline ---------------------------------------------
+  /// One in-flight exchange at most. `span` is the field view captured at
+  /// post time: complete() must unpack into the storage the wires were packed
+  /// against, even if the port has since swapped the field's storage (the
+  /// reference jacobi region sweep swaps kU/kW before the edges run).
+  struct PendingExchange {
+    bool active = false;
+    core::FieldId id{};
+    tl::util::Span2D<double> span{};
+    double posted_elapsed_ns = 0.0;  // inner clock when posted
+    double comm_ns = 0.0;            // full modelled wire time
+    std::size_t bytes = 0;           // one-way wire bytes
+    int messages = 0;
+  };
+
+  /// Posts `fields` nonblocking if eligible (overlap on, regions-capable
+  /// inner, depth 1, exactly one of the solver iteration fields). Returns
+  /// false to fall through to the blocking exchange.
+  bool try_post(unsigned fields, int depth);
+  /// Waits for and unpacks the pending exchange (no-op when none): metering
+  /// charges only the wire time not already covered by compute since the
+  /// post; the hidden remainder is traced (phase "overlap") and tallied.
+  void complete_pending();
+  bool pending_is(core::FieldId id) const noexcept {
+    return pending_.active && pending_.id == id;
+  }
+
   std::unique_ptr<core::SolverKernels> inner_;
   comm::Communicator* comm_;
   comm::HaloExchanger exchanger_;
@@ -89,6 +131,8 @@ class DistributedKernels final : public core::SolverKernels {
   CommStats stats_;
   int nranks_;
   int next_tag_ = 0;
+  bool overlap_;
+  PendingExchange pending_;
 };
 
 }  // namespace tl::dist

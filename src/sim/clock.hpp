@@ -78,6 +78,26 @@ class SimClock {
     }
   }
 
+  /// Emits a trace-only event for comm time hidden behind compute by the
+  /// overlapped halo pipeline: the window [elapsed - ns, elapsed] already
+  /// contains the metered compute that covered the transfer, so NOTHING is
+  /// accounted here — no elapsed time, no launch count, no bytes. The event
+  /// (phase "overlap") just makes the hidden window visible in Chrome
+  /// traces. With no sink attached this is a no-op.
+  void record_overlap(const LaunchInfo& info, double ns) {
+    if (!sink_ || ns <= 0.0) return;
+    sink_->on_event(TraceEvent{.kind = TraceEvent::Kind::kLaunch,
+                               .name = info.name,
+                               .kernel_id = info.kernel_id,
+                               .phase = info.phase,
+                               .model = model_,
+                               .device = device_,
+                               .start_ns = elapsed_ns_ - ns,
+                               .duration_ns = ns,
+                               .bytes = info.bytes_read + info.bytes_written,
+                               .launch_factor = 1.0});
+  }
+
   /// Meters one host<->device transfer and emits its TraceEvent.
   void record_transfer(const TransferInfo& info, double ns) {
     const double start = elapsed_ns_;

@@ -168,6 +168,52 @@ void append_replay_checks(std::vector<MetricResult>& out,
                              spec));
 }
 
+MetricResult exact_check(Metric metric, double a, double b,
+                         std::string detail) {
+  MetricResult r;
+  r.metric = metric;
+  r.tol = Tolerance::exact();
+  r.cmp = compare(a, b, r.tol);
+  r.pass = r.cmp.pass;
+  r.detail = std::move(detail);
+  return r;
+}
+
+/// The overlap pipeline's exactness contract: an overlapped decomposed solve
+/// must be bit-identical to the blocking one — not merely within the
+/// distributed tolerances — so every condensed scalar is compared exactly.
+void append_overlap_identity(std::vector<MetricResult>& out,
+                             const GoldenRecord& ov, const GoldenRecord& bl) {
+  const char* tag = "overlap==blocking";
+  out.push_back(exact_check(Metric::kConverged, ov.converged ? 1.0 : 0.0,
+                            bl.converged ? 1.0 : 0.0, tag));
+  out.push_back(exact_check(Metric::kIterations, ov.iterations, bl.iterations,
+                            tag));
+  out.push_back(exact_check(Metric::kInnerIterations, ov.inner_iterations,
+                            bl.inner_iterations, tag));
+  out.push_back(
+      exact_check(Metric::kFinalResidual, ov.final_rr, bl.final_rr, tag));
+  out.push_back(exact_check(Metric::kVolume, ov.volume, bl.volume, tag));
+  out.push_back(exact_check(Metric::kMass, ov.mass, bl.mass, tag));
+  out.push_back(exact_check(Metric::kInternalEnergy, ov.internal_energy,
+                            bl.internal_energy, tag));
+  out.push_back(
+      exact_check(Metric::kTemperature, ov.temperature, bl.temperature, tag));
+  const std::pair<Metric, std::pair<const FieldChecksum*, const FieldChecksum*>>
+      sums[] = {{Metric::kSolutionChecksum, {&ov.u, &bl.u}},
+                {Metric::kEnergyChecksum, {&ov.energy, &bl.energy}}};
+  for (const auto& [metric, cs] : sums) {
+    out.push_back(exact_check(metric, cs.first->sum, cs.second->sum,
+                              std::string(tag) + " sum"));
+    out.push_back(exact_check(metric, cs.first->l2, cs.second->l2,
+                              std::string(tag) + " l2"));
+    out.push_back(exact_check(metric, cs.first->min, cs.second->min,
+                              std::string(tag) + " min"));
+    out.push_back(exact_check(metric, cs.first->max, cs.second->max,
+                              std::string(tag) + " max"));
+  }
+}
+
 /// Condenses a finished distributed run into a GoldenRecord. The assembled
 /// global fields in the report are padded like a single-chunk run with the
 /// halo cells zero, which is exactly what the interior-only checksum wants.
@@ -299,18 +345,30 @@ ConformanceReport run_conformance(const VerifyOptions& options) {
           // bounds. Replay checks are skipped — the phantom replay models a
           // single chunk, not R tiles plus comm events.
           s.nranks = options.ranks;
+          s.overlap_comm = options.overlap;
           const std::uint64_t seed = options.seed;
-          dist::DistributedDriver driver(
-              s, [&](const core::Mesh& mesh, int rank) {
-                return ports::make_port(model, device, mesh,
-                                        seed + static_cast<std::uint64_t>(rank));
-              });
+          const auto factory = [&](const core::Mesh& mesh, int rank) {
+            return ports::make_port(model, device, mesh,
+                                    seed + static_cast<std::uint64_t>(rank));
+          };
+          dist::DistributedDriver driver(s, factory);
           const dist::DistReport rep = driver.run();
-          append_record_checks(cell.metrics, condense_dist(s, rep), ref.record,
-                               spec);
+          const GoldenRecord dist_rec = condense_dist(s, rep);
+          append_record_checks(cell.metrics, dist_rec, ref.record, spec);
           cell.metrics.push_back(
               check_history(rep.run.steps.back().solve.rr_history,
                             ref.rr_history, spec, /*len_slack=*/1));
+          if (options.overlap) {
+            // Blocking twin with the same seeds: the overlapped pipeline may
+            // reorder sweeps and defer completions, but every number it
+            // produces must be the blocking number, bit for bit.
+            core::Settings sb = s;
+            sb.overlap_comm = false;
+            dist::DistributedDriver blocking(sb, factory);
+            const dist::DistReport brep = blocking.run();
+            append_overlap_identity(cell.metrics, dist_rec,
+                                    condense_dist(sb, brep));
+          }
         } else {
           core::Driver driver(
               s, ports::make_port(model, device,

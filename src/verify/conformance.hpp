@@ -38,6 +38,13 @@ struct VerifyOptions {
   /// phantom replay models a single chunk).
   int ranks = 1;
 
+  /// Overlapped halo exchange (tl_overlap_comm) for the distributed cells.
+  /// When on (the default) and ranks > 1, every cell additionally runs a
+  /// blocking twin of the decomposed solve and asserts the two condensed
+  /// records are bit-identical — the overlap pipeline's exactness contract
+  /// (DESIGN.md §10). Ignored for ranks == 1.
+  bool overlap = true;
+
   /// Assert the live port's simulated clock against the analytic replay
   /// (only meaningful for steps == 1; skipped otherwise).
   bool check_replay = true;

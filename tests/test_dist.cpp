@@ -13,6 +13,7 @@
 #include "core/reference_kernels.hpp"
 #include "core/settings.hpp"
 #include "dist/driver.hpp"
+#include "ports/registry.hpp"
 #include "sim/device.hpp"
 #include "sim/model_id.hpp"
 #include "sim/trace.hpp"
@@ -36,6 +37,14 @@ Settings small_problem(int ranks, tl::core::SolverKind solver) {
 d::PortFactory reference_factory() {
   return [](const Mesh& mesh, int /*rank*/) {
     return std::make_unique<tl::core::ReferenceKernels>(mesh);
+  };
+}
+
+d::PortFactory omp3_factory() {
+  return [](const Mesh& mesh, int rank) {
+    return tl::ports::make_port(*tl::sim::parse_model("omp3"),
+                                *tl::sim::parse_device("cpu"), mesh,
+                                1 + static_cast<std::uint64_t>(rank));
   };
 }
 
@@ -179,6 +188,88 @@ TEST(DistDriver, MoreRanksThanCellsThrows) {
                std::invalid_argument);
 }
 
+TEST(DistOverlap, OverlapMatchesBlockingBitIdentically) {
+  // The overlap pipeline's exactness contract (DESIGN.md §10): with
+  // tl_overlap_comm on, every solver must produce results bit-identical to
+  // the blocking exchange — same iterations, same final residual, same
+  // global fields to the last ulp.
+  for (const auto solver :
+       {tl::core::SolverKind::kCg, tl::core::SolverKind::kCheby,
+        tl::core::SolverKind::kPpcg, tl::core::SolverKind::kJacobi}) {
+    Settings on = small_problem(4, solver);
+    on.overlap_comm = true;
+    Settings off = on;
+    off.overlap_comm = false;
+
+    d::DistributedDriver overlapped(on, reference_factory());
+    d::DistributedDriver blocking(off, reference_factory());
+    const d::DistReport ro = overlapped.run();
+    const d::DistReport rb = blocking.run();
+
+    const auto& so = ro.run.steps.back().solve;
+    const auto& sb = rb.run.steps.back().solve;
+    EXPECT_EQ(so.iterations, sb.iterations);
+    EXPECT_EQ(so.converged, sb.converged);
+    EXPECT_EQ(so.final_rr, sb.final_rr);  // bitwise
+    ASSERT_EQ(ro.u.size(), rb.u.size());
+    for (std::size_t i = 0; i < ro.u.size(); ++i) {
+      ASSERT_EQ(ro.u[i], rb.u[i]) << "u cell " << i;
+      ASSERT_EQ(ro.energy[i], rb.energy[i]) << "energy cell " << i;
+    }
+  }
+}
+
+TEST(DistOverlap, StatsSplitExposedAndHidden) {
+  // The overlapped run must actually take the post/complete path (solver
+  // exchanges are eligible) and account hidden comm; the blocking run must
+  // report none. Total exchange counts agree — overlap changes when comm
+  // happens, never how much. Needs a metered port (the reference oracle's
+  // clock stays at zero, leaving no compute window to hide comm behind).
+  Settings on = small_problem(4, tl::core::SolverKind::kCg);
+  on.overlap_comm = true;
+  Settings off = on;
+  off.overlap_comm = false;
+
+  const d::DistReport ro = d::DistributedDriver(on, omp3_factory()).run();
+  const d::DistReport rb = d::DistributedDriver(off, omp3_factory()).run();
+  for (std::size_t r = 0; r < ro.ranks.size(); ++r) {
+    const d::CommStats& co = ro.ranks[r].comm;
+    const d::CommStats& cb = rb.ranks[r].comm;
+    EXPECT_GT(co.overlapped_exchanges, 0u) << "rank " << r;
+    EXPECT_GT(co.hidden_ns, 0.0) << "rank " << r;
+    EXPECT_EQ(cb.overlapped_exchanges, 0u) << "rank " << r;
+    EXPECT_EQ(cb.hidden_ns, 0.0) << "rank " << r;
+    EXPECT_EQ(co.halo_exchanges, cb.halo_exchanges) << "rank " << r;
+    EXPECT_EQ(co.bytes, cb.bytes) << "rank " << r;
+    // Exposed + hidden can never exceed the blocking wire time, and hiding
+    // comm must not slow the rank down.
+    EXPECT_LE(co.comm_ns, cb.comm_ns) << "rank " << r;
+    EXPECT_LE(ro.ranks[r].sim_seconds, rb.ranks[r].sim_seconds)
+        << "rank " << r;
+  }
+}
+
+TEST(DistOverlap, TraceCarriesOverlapPhaseEvents) {
+  // Hidden comm emits a trace-only "overlap" event; requires a metered port
+  // for the same reason as StatsSplitExposedAndHidden.
+  Settings s = small_problem(2, tl::core::SolverKind::kCg);
+  s.overlap_comm = true;
+  d::DistributedDriver driver(s, omp3_factory());
+  std::vector<tl::sim::RecordingSink> sinks(2);
+  driver.set_rank_sinks({&sinks[0], &sinks[1]});
+  driver.run();
+  for (int rank = 0; rank < 2; ++rank) {
+    std::size_t overlap_events = 0;
+    for (const auto& e : sinks[rank].events()) {
+      if (e.phase == "overlap") {
+        ++overlap_events;
+        EXPECT_EQ(e.name, "halo_overlap");
+      }
+    }
+    EXPECT_GT(overlap_events, 0u) << "rank " << rank;
+  }
+}
+
 TEST(DistConformance, TwoRankCellPassesAgainstSingleRankReference) {
   // The full --ranks matrix is a ctest (label "dist"); here one cheap cell
   // exercises the run_conformance ranks>1 code path end to end.
@@ -193,4 +284,21 @@ TEST(DistConformance, TwoRankCellPassesAgainstSingleRankReference) {
   ASSERT_EQ(report.cells.size(), 1u);
   EXPECT_TRUE(report.all_pass());
   EXPECT_EQ(report.options.ranks, 2);
+}
+
+TEST(DistConformance, OverlapOffCellSkipsBlockingTwin) {
+  // --overlap off runs the decomposed cells with the blocking exchange only
+  // (no twin, no overlap==blocking metrics) and must still pass.
+  tl::verify::VerifyOptions opt;
+  opt.ranks = 2;
+  opt.overlap = false;
+  opt.solvers = {tl::core::SolverKind::kCg};
+  opt.only_model = tl::sim::parse_model("omp3");
+  opt.only_device = tl::sim::parse_device("cpu");
+  const auto report = tl::verify::run_conformance(opt);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_TRUE(report.all_pass());
+  for (const auto& m : report.cells[0].metrics) {
+    EXPECT_EQ(m.detail.find("overlap==blocking"), std::string::npos);
+  }
 }

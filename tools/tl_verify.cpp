@@ -1,6 +1,7 @@
 // tl_verify: the cross-model conformance checker CLI.
 //
 //   tl_verify [--nx 40] [--steps 1] [--seed 7] [--ranks R]
+//             [--overlap on|off]
 //             [--solver cg|cheby|ppcg|jacobi|all]
 //             [--model ID] [--device cpu|gpu|knc]
 //             [--golden FILE] [--regen-golden FILE]
@@ -15,7 +16,9 @@
 // `--perturb KERNEL` corrupts one reference kernel to prove the checker
 // fails when it should. `--ranks R` (R > 1) runs every cell decomposed over
 // R MiniComm ranks and asserts agreement with the 1-rank reference
-// (DESIGN.md §8).
+// (DESIGN.md §8). `--overlap on|off` (default on) controls the overlapped
+// halo pipeline for those decomposed cells; with it on, each cell also runs
+// a blocking twin and asserts bit-identical results (DESIGN.md §10).
 
 #include <cstdio>
 #include <fstream>
@@ -61,6 +64,15 @@ int main(int argc, char** argv) {
   opt.ranks = static_cast<int>(cli.get_long_or("ranks", opt.ranks));
   if (opt.ranks < 1) {
     std::fprintf(stderr, "tl_verify: --ranks must be >= 1\n");
+    return 2;
+  }
+  const std::string overlap = cli.get_or("overlap", "on");
+  if (overlap == "on") {
+    opt.overlap = true;
+  } else if (overlap == "off") {
+    opt.overlap = false;
+  } else {
+    std::fprintf(stderr, "tl_verify: --overlap must be 'on' or 'off'\n");
     return 2;
   }
   opt.check_replay = !cli.has("no-replay");
@@ -116,8 +128,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("tl_verify: %dx%d mesh, %d step(s), %d rank(s), seed %llu%s\n\n",
+  std::printf("tl_verify: %dx%d mesh, %d step(s), %d rank(s)%s, seed %llu%s\n\n",
               opt.nx, opt.nx, opt.steps, opt.ranks,
+              opt.ranks > 1 ? (opt.overlap ? " (overlap on)" : " (overlap off)")
+                            : "",
               static_cast<unsigned long long>(opt.seed),
               opt.perturb_kernel.empty()
                   ? ""
