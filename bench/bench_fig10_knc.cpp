@@ -4,18 +4,19 @@
 // substantially slower everywhere (no vectorisation through indirection);
 // Kokkos HP roughly halves flat Kokkos' CG/PPCG times.
 //
-// Supports --profile / --trace=FILE / --trace-model=ID / --smoke (see
+// Supports --profile / --trace=FILE / --trace-model=ID / --smoke /
+// --report=FILE (see
 // bench/harness.hpp); flagless output is unchanged.
 
 #include "bench/harness.hpp"
 #include "sim/device.hpp"
 
 int main(int argc, char** argv) {
-  const bench::TraceOptions trace = bench::parse_trace_options(argc, argv);
-  bench::Harness harness(trace.smoke ? bench::smoke_ladder()
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  bench::Harness harness(opts.smoke ? bench::smoke_ladder()
                                      : std::vector<int>{});
   bench::run_device_figure(harness, tl::sim::DeviceId::kMicKnc,
                            "Figure 10: KNC (Xeon Phi 5110P/SE10P) runtimes",
-                           "fig10_knc.csv", trace);
+                           "fig10_knc.csv", opts);
   return 0;
 }

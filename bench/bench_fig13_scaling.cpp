@@ -3,7 +3,7 @@
 // interconnect (sim/network.hpp) supplying the communication cost.
 //
 //   ./bench_fig13_scaling [--model omp3] [--device cpu]
-//                         [--smoke] [--trace=FILE]
+//                         [--smoke] [--trace=FILE] [--report=FILE]
 //
 // Full mode follows the standard bench pipeline: real small-mesh solves
 // calibrate the iteration power laws, a real multi-rank probe solve counts
@@ -18,9 +18,10 @@
 //
 // --smoke runs real DistributedDriver solves end to end at CI-sized meshes
 // instead (the identical src/dist code path the conformance checker
-// exercises), and --trace=FILE writes a Chrome trace with one timeline row
-// per rank, comm events included. Both modes print the per-rank comm-bytes
-// table.
+// exercises), --trace=FILE writes a Chrome trace with one timeline row
+// per rank, comm events included, and --report=FILE writes the tl-report-1
+// run report of the largest overlapped CG smoke run (per-rank comm
+// breakdown included). Both modes print the per-rank comm-bytes table.
 //
 // Every (solver, scaling, ranks) point runs twice — blocking halo exchange
 // and the overlapped pipeline (tl_overlap_comm) — and both rows land in the
@@ -47,8 +48,11 @@
 #include "dist/driver.hpp"
 #include "ports/registry.hpp"
 #include "sim/network.hpp"
+#include "telemetry/collectors.hpp"
+#include "telemetry/report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/metrics.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -266,7 +270,8 @@ ScalePoint modelled_point(const bench::Harness& harness, sim::Model model,
 ScalePoint measured_point(sim::Model model, sim::DeviceId device,
                           SolverKind solver, int global_nx, int ranks,
                           bool overlap, std::vector<sim::RecordingSink>* sinks,
-                          std::vector<dist::RankReport>* rank_reports) {
+                          std::vector<dist::RankReport>* rank_reports,
+                          core::RunReport* run_out = nullptr) {
   core::Settings s = core::Settings::default_problem();
   s.nx = s.ny = global_nx;
   s.solver = solver;
@@ -304,6 +309,7 @@ ScalePoint measured_point(sim::Model model, sim::DeviceId device,
   p.compute_s = rep.run.sim_total_seconds - p.comm_s;
   p.comm_bytes_per_rank = slowest->comm.bytes;
   if (rank_reports != nullptr) *rank_reports = rep.ranks;
+  if (run_out != nullptr) *run_out = rep.run;
   return p;
 }
 
@@ -388,8 +394,9 @@ void write_overlap_json(const std::vector<OverlapCell>& cells, bool smoke,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const bool smoke = cli.has("smoke");
-  const std::string trace_path = cli.get_or("trace", "");
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  const bool smoke = opts.smoke;
+  const std::string& trace_path = opts.trace_path;
 
   const auto model = sim::parse_model(cli.get_or("model", "omp3"));
   const auto device = sim::parse_device(cli.get_or("device", "cpu"));
@@ -422,6 +429,8 @@ int main(int argc, char** argv) {
   std::vector<OverlapCell> overlap_cells;
   std::vector<dist::RankReport> comm_table;  // per-rank bytes (largest R, CG)
   std::vector<sim::RecordingSink> trace_sinks;
+  core::RunReport report_run;  // largest overlapped CG run (smoke mode)
+  const bool want_stream = !trace_path.empty() || !opts.report_path.empty();
 
   if (smoke) {
     // Real distributed solves: the same src/dist code path tl_verify --ranks
@@ -437,8 +446,8 @@ int main(int argc, char** argv) {
                                         nullptr));
         strong_ov.push_back(measured_point(
             *model, *device, solver, strong_mesh, ranks, /*overlap=*/true,
-            traced && !trace_path.empty() ? &trace_sinks : nullptr,
-            traced ? &comm_table : nullptr));
+            traced && want_stream ? &trace_sinks : nullptr,
+            traced ? &comm_table : nullptr, traced ? &report_run : nullptr));
       }
       print_section("strong", "blocking", solver, strong, csv, *model,
                     *device);
@@ -556,13 +565,59 @@ int main(int argc, char** argv) {
       std::size_t total = 0;
       for (std::size_t r = 0; r < trace_sinks.size(); ++r) {
         groups.push_back(sim::TraceGroup{util::strf("CG/rank%zu", r),
-                                         trace_sinks[r].events()});
+                                         trace_sinks[r].events(),
+                                         trace_sinks[r].dropped()});
         total += trace_sinks[r].events().size();
       }
       if (sim::write_chrome_trace_file(trace_path, groups)) {
         std::printf("trace: %zu events (one row per rank, comm phase "
                     "included) written to %s\n",
                     total, trace_path.c_str());
+      }
+    }
+  }
+
+  if (!opts.report_path.empty()) {
+    if (trace_sinks.empty()) {
+      std::printf("report: --report is only recorded in --smoke mode (full "
+                  "mode prices comm analytically; no event stream exists)\n");
+    } else {
+      // The largest overlapped CG smoke run, replayed from the per-rank
+      // recordings into the aggregator + registry the report is built from.
+      telemetry::ReportContext ctx;
+      ctx.source = "bench_fig13_scaling";
+      ctx.model = std::string(sim::model_id(*model));
+      ctx.device = std::string(sim::device_short_name(*device));
+      ctx.solver = std::string(core::solver_name(SolverKind::kCg));
+      ctx.nx = ctx.ny = strong_mesh;
+      ctx.steps = static_cast<int>(report_run.steps.size());
+      ctx.ranks = kRankLadder.back();
+      ctx.use_fused = core::Settings::default_problem().use_fused;
+      ctx.overlap_comm = true;
+      telemetry::ReportBuilder builder(std::move(ctx));
+      util::Aggregator agg;
+      sim::AggregatingSink agg_sink(agg);
+      telemetry::RegistrySink reg_sink(builder.registry());
+      for (const sim::RecordingSink& sink : trace_sinks) {
+        for (const sim::TraceEvent& ev : sink.events()) {
+          agg_sink.on_event(ev);
+          reg_sink.on_event(ev);
+        }
+      }
+      const double achieved =
+          agg.total_ns() > 0.0
+              ? static_cast<double>(agg.total_bytes()) / agg.total_ns()
+              : 0.0;
+      builder.add_run(report_run, achieved);
+      for (const dist::RankReport& r : comm_table) builder.add_rank(r);
+      builder.add_profiles(agg);
+      if (builder.write(opts.report_path)) {
+        std::printf("report: tl-report-1 written to %s (+ %s)\n",
+                    opts.report_path.c_str(),
+                    telemetry::ReportBuilder::openmetrics_path(opts.report_path)
+                        .c_str());
+      } else {
+        std::printf("report: FAILED to write %s\n", opts.report_path.c_str());
       }
     }
   }

@@ -9,6 +9,7 @@
 //   --trace-model=ID  which model to trace (default: first figure model)
 //   --smoke         CI fast path: short calibration ladder, 512^2 mesh,
 //                   5-run variance experiment (CSV not golden-comparable)
+//   --report=FILE   tl-report-1 run report + sibling .om OpenMetrics export
 
 #include <algorithm>
 #include <cstdio>
@@ -68,18 +69,18 @@ void print_launch_factor_histogram(const bench::Harness& harness, int mesh) {
 
 int main(int argc, char** argv) {
   using namespace tl;
-  const bench::TraceOptions trace = bench::parse_trace_options(argc, argv);
-  bench::Harness harness(trace.smoke ? bench::smoke_ladder()
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  bench::Harness harness(opts.smoke ? bench::smoke_ladder()
                                      : std::vector<int>{});
   bench::run_device_figure(harness, sim::DeviceId::kCpuSandyBridge,
                            "Figure 8: CPU (2x Xeon E5-2670) runtimes",
-                           "fig8_cpu.csv", trace);
+                           "fig8_cpu.csv", opts);
 
   // The 15-run OpenCL variance experiment (total across the three solvers).
   // Smoke mode keeps the experiment but shrinks it (5 runs, smoke mesh).
-  const int runs = trace.smoke ? 5 : 15;
+  const int runs = opts.smoke ? 5 : 15;
   const int mesh =
-      trace.smoke ? bench::kSmokeMesh : bench::Harness::kConvergenceMesh;
+      opts.smoke ? bench::kSmokeMesh : bench::Harness::kConvergenceMesh;
   std::vector<double> totals;
   for (std::uint64_t run = 1; run <= static_cast<std::uint64_t>(runs); ++run) {
     double total = 0.0;
@@ -99,6 +100,6 @@ int main(int argc, char** argv) {
       "paper reported min 1631 s / max 2813 s over 15 tests\n",
       runs, s.min, s.max, s.mean, s.stddev);
 
-  if (trace.profile) print_launch_factor_histogram(harness, mesh);
+  if (opts.profile) print_launch_factor_histogram(harness, mesh);
   return 0;
 }

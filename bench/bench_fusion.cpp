@@ -20,6 +20,8 @@
 //                mesh (CSV/JSON not comparable to the committed goldens).
 //   --sim-only   Skip the measured leg (the golden regeneration fixture uses
 //                this: golden tests must stay load-independent).
+//   --report=FILE  tl-report-1 run report of the first fused cell's metered
+//                solves (+ sibling .om OpenMetrics export).
 
 #include <algorithm>
 #include <array>
@@ -216,7 +218,8 @@ int run_measured_leg() {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const bool smoke = cli.has("smoke");
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  const bool smoke = opts.smoke;
   const bool sim_only = cli.has("sim-only");
 
   const int mesh = smoke ? bench::kSmokeMesh : bench::Harness::kConvergenceMesh;
@@ -232,6 +235,15 @@ int main(int argc, char** argv) {
   print_tables(cells);
   write_csv(cells, "fig_fusion.csv");
   write_json(cells, mesh, "BENCH_fusion.json");
+
+  if (!opts.report_path.empty()) {
+    // Meter the first fusion device's first figure model through the shared
+    // report path (fused pipeline — the production configuration).
+    const sim::DeviceId device = kFusionDevices.front();
+    bench::write_figure_report(harness, ports::figure_models(device).front(),
+                               device, mesh, "bench_fusion",
+                               opts.report_path);
+  }
 
   int failures = check_sim_gate(cells);
   if (!sim_only) failures += run_measured_leg();

@@ -7,6 +7,8 @@
 #include "core/driver.hpp"
 #include "core/phantom_kernels.hpp"
 #include "ports/registry.hpp"
+#include "telemetry/collectors.hpp"
+#include "telemetry/report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/metrics.hpp"
@@ -91,6 +93,11 @@ SolveResult Harness::modelled_solve(sim::Model model, sim::DeviceId device,
   result.seconds = report.sim_total_seconds;
   result.bandwidth_gbs = report.achieved_bandwidth_gbs;
   result.launches = report.kernel_launches;
+  const core::SolveStats& stats = report.steps[0].solve;
+  result.fused_iterations = stats.fused_iterations;
+  result.classic_iterations = stats.classic_iterations;
+  result.converged = stats.converged;
+  result.final_rr = stats.final_rr;
   return result;
 }
 
@@ -123,14 +130,66 @@ std::string fmt_seconds(double s) { return util::strf("%.1f", s); }
 
 std::vector<int> smoke_ladder() { return {24, 32, 48}; }
 
-TraceOptions parse_trace_options(int argc, const char* const* argv) {
+BenchOptions parse_bench_options(int argc, const char* const* argv) {
   const util::Cli cli(argc, argv);
-  TraceOptions opts;
+  BenchOptions opts;
   opts.profile = cli.has("profile");
   opts.trace_path = cli.get_or("trace", "");
   opts.trace_model = cli.get_or("trace-model", "");
   opts.smoke = cli.has("smoke");
+  opts.report_path = cli.get_or("report", "");
   return opts;
+}
+
+void write_figure_report(const Harness& harness, sim::Model model,
+                         sim::DeviceId device, int mesh,
+                         const std::string& source, const std::string& path) {
+  telemetry::ReportContext ctx;
+  ctx.source = source;
+  ctx.model = std::string(sim::model_id(model));
+  ctx.device = std::string(sim::device_short_name(device));
+  ctx.solver = "all";
+  ctx.nx = ctx.ny = mesh;
+  ctx.steps = static_cast<int>(core::kAllSolvers.size());
+  telemetry::ReportBuilder builder(std::move(ctx));
+
+  util::Aggregator agg;
+  sim::AggregatingSink agg_sink(agg);
+  telemetry::RegistrySink reg_sink(builder.registry());
+  sim::TeeSink tee({&agg_sink, &reg_sink});
+
+  double total_seconds = 0.0;
+  std::uint64_t total_launches = 0;
+  for (const SolverKind solver : core::kAllSolvers) {
+    const SolveResult r = harness.modelled_solve(model, device, solver, mesh,
+                                                 1, &tee);
+    builder.add_solve(telemetry::SolveRow{
+        .label = std::string(core::solver_name(solver)),
+        .solver = std::string(core::solver_name(solver)),
+        .converged = r.converged,
+        .iterations = r.outer_iterations,
+        .inner_iterations = 0,
+        .fused_iterations = r.fused_iterations,
+        .classic_iterations = r.classic_iterations,
+        .final_rr = r.final_rr,
+        .sim_seconds = r.seconds,
+    });
+    total_seconds += r.seconds;
+    total_launches += r.launches;
+  }
+  builder.set_totals(total_seconds,
+                     agg.total_ns() > 0.0
+                         ? static_cast<double>(agg.total_bytes()) /
+                               agg.total_ns()
+                         : 0.0,
+                     total_launches);
+  builder.add_profiles(agg);
+  if (builder.write(path)) {
+    std::printf("\nreport: tl-report-1 written to %s (+ %s)\n", path.c_str(),
+                telemetry::ReportBuilder::openmetrics_path(path).c_str());
+  } else {
+    std::printf("\nreport: FAILED to write %s\n", path.c_str());
+  }
 }
 
 namespace {
@@ -172,7 +231,7 @@ void write_figure_trace(const Harness& harness, sim::Model model,
     groups.push_back(sim::TraceGroup{
         std::string(sim::model_id(model)) + "/" +
             std::string(core::solver_name(solver)),
-        sinks[i].events()});
+        sinks[i].events(), sinks[i].dropped()});
     total += sinks[i].events().size();
     dropped += sinks[i].dropped();
     ++i;
@@ -194,11 +253,11 @@ void write_figure_trace(const Harness& harness, sim::Model model,
 
 void run_device_figure(const Harness& harness, sim::DeviceId device,
                        const std::string& title, const std::string& csv_path,
-                       const TraceOptions& trace) {
-  const int mesh = trace.smoke ? kSmokeMesh : Harness::kConvergenceMesh;
+                       const BenchOptions& opts) {
+  const int mesh = opts.smoke ? kSmokeMesh : Harness::kConvergenceMesh;
   std::printf("== %s ==\n(%dx%d mesh%s, runtimes in simulated seconds, "
               "lower is better)\n\n", title.c_str(), mesh, mesh,
-              trace.smoke ? " — SMOKE MODE" : "");
+              opts.smoke ? " — SMOKE MODE" : "");
   harness.print_calibration();
 
   util::CsvWriter csv(csv_path, {"model", "solver", "seconds",
@@ -221,25 +280,31 @@ void run_device_figure(const Harness& harness, sim::DeviceId device,
   std::printf("\nCSV written to %s\n", csv_path.c_str());
 
   const std::vector<sim::Model> figure = ports::figure_models(device);
-  if (trace.profile) {
+  if (opts.profile) {
     for (const sim::Model m : figure) {
       print_model_profile(harness, m, device, mesh);
     }
   }
-  if (!trace.trace_path.empty() && !figure.empty()) {
-    sim::Model traced = figure.front();
-    if (!trace.trace_model.empty()) {
-      const auto parsed = sim::parse_model(trace.trace_model);
-      if (parsed && ports::is_supported(*parsed, device)) {
-        traced = *parsed;
-      } else {
-        std::printf("\ntrace: unknown/unsupported --trace-model '%s', "
-                    "tracing %s instead\n",
-                    trace.trace_model.c_str(),
-                    std::string(sim::model_id(traced)).c_str());
-      }
+  // --trace and --report follow the same model selection: the figure's
+  // first model unless --trace-model overrides it.
+  sim::Model selected = figure.empty() ? sim::Model::kOmp3Cpp : figure.front();
+  if (!figure.empty() && !opts.trace_model.empty()) {
+    const auto parsed = sim::parse_model(opts.trace_model);
+    if (parsed && ports::is_supported(*parsed, device)) {
+      selected = *parsed;
+    } else {
+      std::printf("\ntrace: unknown/unsupported --trace-model '%s', "
+                  "using %s instead\n",
+                  opts.trace_model.c_str(),
+                  std::string(sim::model_id(selected)).c_str());
     }
-    write_figure_trace(harness, traced, device, mesh, trace.trace_path);
+  }
+  if (!opts.trace_path.empty() && !figure.empty()) {
+    write_figure_trace(harness, selected, device, mesh, opts.trace_path);
+  }
+  if (!opts.report_path.empty() && !figure.empty()) {
+    write_figure_report(harness, selected, device, mesh, csv_path,
+                        opts.report_path);
   }
 }
 

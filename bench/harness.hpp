@@ -28,6 +28,11 @@ struct SolveResult {
   double seconds = 0.0;            // simulated runtime
   double bandwidth_gbs = 0.0;      // achieved main-memory bandwidth
   std::uint64_t launches = 0;
+  // Dispatch accounting carried through for run reports.
+  int fused_iterations = 0;
+  int classic_iterations = 0;
+  bool converged = false;
+  double final_rr = 0.0;
 };
 
 class Harness {
@@ -76,10 +81,11 @@ class Harness {
 /// Formats seconds for table cells ("1234.5").
 std::string fmt_seconds(double s);
 
-/// Flags shared by the figure benches. The observability flags are strictly
-/// additive: with none set, bench output and CSVs are byte-identical to
-/// the untraced harness (no sink is ever attached).
-struct TraceOptions {
+/// Flags shared by every bench binary, parsed in exactly one place
+/// (parse_bench_options). The observability flags are strictly additive:
+/// with none set, bench output and CSVs are byte-identical to the untraced
+/// harness (no sink is ever attached).
+struct BenchOptions {
   /// --profile: after the runtime table, print a per-kernel breakdown
   /// (count, total, % of run, GB/s, scheduler factor spread) per model.
   bool profile = false;
@@ -93,6 +99,9 @@ struct TraceOptions {
   /// pipeline (calibration, phantom metering, CSV) in a fraction of the
   /// time; the CSV is NOT comparable to the committed full-size goldens.
   bool smoke = false;
+  /// --report=FILE: write the tl-report-1 JSON run report (and its sibling
+  /// .om OpenMetrics export) of the bench's metered solves.
+  std::string report_path;
 };
 
 /// Mesh edge for --smoke figure runs.
@@ -102,15 +111,24 @@ inline constexpr int kSmokeMesh = 512;
 /// otherwise).
 std::vector<int> smoke_ladder();
 
-/// Parses --profile / --trace=FILE / --trace-model=ID / --smoke from argv.
-TraceOptions parse_trace_options(int argc, const char* const* argv);
+/// Parses --profile / --trace=FILE / --trace-model=ID / --smoke /
+/// --report=FILE from argv.
+BenchOptions parse_bench_options(int argc, const char* const* argv);
+
+/// Meters `model`'s three solves (CG, Chebyshev, PPCG) at `mesh` on
+/// `device` and writes the tl-report-1 run report to `path` (sibling `.om`
+/// alongside): per-kernel profile with roofline ratios, solve outcomes,
+/// registry counters/histograms. `source` labels the emitting bench.
+void write_figure_report(const Harness& harness, tl::sim::Model model,
+                         tl::sim::DeviceId device, int mesh,
+                         const std::string& source, const std::string& path);
 
 /// Shared driver for the per-device runtime figures (paper Figs 8/9/10):
 /// each figure model x {CG, Chebyshev, PPCG} at the 4096^2 convergence mesh,
-/// printed as a table and written to `csv_path`. `trace` adds the opt-in
-/// per-kernel profile and Chrome-trace outputs.
+/// printed as a table and written to `csv_path`. `opts` adds the opt-in
+/// per-kernel profile, Chrome-trace, and run-report outputs.
 void run_device_figure(const Harness& harness, tl::sim::DeviceId device,
                        const std::string& title, const std::string& csv_path,
-                       const TraceOptions& trace = {});
+                       const BenchOptions& opts = {});
 
 }  // namespace bench

@@ -2,7 +2,7 @@
 //
 //   ./quickstart [--nx 128] [--solver cg|cheby|ppcg|jacobi] [--model kokkos]
 //                [--device cpu|gpu|knc] [--steps 1] [--ranks 1]
-//                [--profile] [--trace=FILE] [--verify]
+//                [--profile] [--trace=FILE] [--report=FILE] [--verify]
 //
 // Builds the default TeaLeaf benchmark problem (dense cold background, hot
 // light region), runs it through the chosen programming-model port on the
@@ -17,6 +17,10 @@
 // the same solve distributed (src/dist): per-rank comm statistics are
 // summarised, --profile folds every rank's events (including the "comm"
 // phase) into one table, and --trace writes one trace group per rank.
+// --report=FILE writes the versioned tl-report-1 JSON run report (settings
+// echo, per-kernel roofline profile, per-rank comm breakdown, registry
+// counters/histograms) plus its sibling .om OpenMetrics export — the
+// artifact `tl_report` analyses and regression-checks.
 
 #include <algorithm>
 #include <cstdio>
@@ -27,6 +31,8 @@
 #include "dist/driver.hpp"
 #include "ports/registry.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/collectors.hpp"
+#include "telemetry/report.hpp"
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
 #include "util/string_util.hpp"
@@ -76,7 +82,8 @@ int main(int argc, char** argv) {
 
   const bool profile = cli.has("profile");
   const std::string trace_path = cli.get_or("trace", "");
-  const bool observe = profile || !trace_path.empty();
+  const std::string report_path = cli.get_or("report", "");
+  const bool observe = profile || !trace_path.empty() || !report_path.empty();
 
   // Observability: sinks hang off the shared metering spine, so the live
   // port emits one event per metered launch/transfer with no port changes.
@@ -177,12 +184,50 @@ int main(int argc, char** argv) {
     for (std::size_t r = 0; r < rank_sinks.size(); ++r) {
       std::string group_label = label;
       if (ranks > 1) group_label += util::strf("/rank%zu", r);
-      groups.push_back(sim::TraceGroup{group_label, rank_sinks[r].events()});
+      groups.push_back(sim::TraceGroup{group_label, rank_sinks[r].events(),
+                                       rank_sinks[r].dropped()});
       total_events += rank_sinks[r].events().size();
     }
     if (sim::write_chrome_trace_file(trace_path, groups)) {
       std::printf("trace: %zu events written to %s (load in chrome://tracing)\n",
                   total_events, trace_path.c_str());
+    }
+  }
+
+  if (!report_path.empty()) {
+    telemetry::ReportContext ctx;
+    ctx.source = "quickstart";
+    ctx.model = std::string(sim::model_id(*model));
+    ctx.device = std::string(sim::device_short_name(*device));
+    ctx.solver = std::string(core::solver_name(settings.solver));
+    ctx.nx = ctx.ny = nx;
+    ctx.steps = steps;
+    ctx.ranks = ranks;
+    ctx.use_fused = settings.use_fused;
+    ctx.overlap_comm = settings.overlap_comm;
+    telemetry::ReportBuilder builder(std::move(ctx));
+
+    // Replay the recorded per-rank event streams into the registry (rank
+    // order: deterministic) and the kernel-profile aggregator.
+    util::Aggregator agg;
+    sim::AggregatingSink agg_sink(agg);
+    telemetry::RegistrySink reg_sink(builder.registry());
+    for (const sim::RecordingSink& sink : rank_sinks) {
+      for (const sim::TraceEvent& ev : sink.events()) {
+        agg_sink.on_event(ev);
+        reg_sink.on_event(ev);
+      }
+    }
+    builder.add_run(report, report.achieved_bandwidth_gbs);
+    for (const dist::RankReport& r : rank_reports) builder.add_rank(r);
+    builder.add_profiles(agg);
+    if (builder.write(report_path)) {
+      std::printf(
+          "report: tl-report-1 written to %s (+ %s)\n", report_path.c_str(),
+          telemetry::ReportBuilder::openmetrics_path(report_path).c_str());
+    } else {
+      std::fprintf(stderr, "report: FAILED to write %s\n", report_path.c_str());
+      return 1;
     }
   }
 

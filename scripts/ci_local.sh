@@ -52,6 +52,16 @@ run_leg() { # run_leg <preset> <cc> <cxx>
   # if overlap is ever slower than blocking. Writes BENCH_overlap.json.
   (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fig13_scaling" --smoke >/dev/null)
   echo "overlap JSON: bench-smoke-${preset}-${cc}/BENCH_overlap.json"
+
+  note "run-report regression gate: tl_report --check (${preset} / ${cc})"
+  # The canonical deterministic run report, regenerated and checked against
+  # the committed baseline (exact counts, 10% slower-only time tolerance).
+  "./$build_dir/examples/quickstart" \
+    --nx 96 --solver cg --model omp3 --device cpu --ranks 4 \
+    --report="bench-smoke-${preset}-${cc}/run_report.json" >/dev/null
+  "./$build_dir/tools/tl_report" \
+    --check "bench-smoke-${preset}-${cc}/run_report.json" \
+    --baseline=BENCH_report.json
 }
 
 run_tsan() { # run_tsan <cc> <cxx>
@@ -60,7 +70,7 @@ run_tsan() { # run_tsan <cc> <cxx>
   note "leg: tsan / ${cc} (threading suites)"
   CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist tests_regions
+    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist tests_regions tests_telemetry
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_fusion"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_ports"
@@ -68,6 +78,7 @@ run_tsan() { # run_tsan <cc> <cxx>
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_comm"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_dist"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_regions"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_telemetry"
 }
 
 compilers=()

@@ -79,6 +79,7 @@ double cg_bootstrap(SolverKernels& k, const SolveOptions& opt, int prep,
     alphas.push_back(alpha);
     betas.push_back(beta);
     ++stats.iterations;
+    ++(fused ? stats.fused_iterations : stats.classic_iterations);
     stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
       stats.converged = true;
@@ -130,6 +131,7 @@ SolveStats solve_cg(SolverKernels& k, const SolveOptions& opt) {
       rrn = k.cg_calc_ur(alpha);
     }
     ++stats.iterations;
+    ++(fused ? stats.fused_iterations : stats.classic_iterations);
     stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
       stats.converged = true;
@@ -178,6 +180,7 @@ SolveStats solve_cheby(SolverKernels& k, const SolveOptions& opt) {
     }
     k.halo_update(kMaskU, 1);
     ++stats.iterations;
+    ++(fused ? stats.fused_iterations : stats.classic_iterations);
     if ((it + 1) % opt.check_interval == 0) {
       // The iterate keeps r current, so the periodic check is a bare norm.
       rr = k.calc_2norm(NormTarget::kResidual);
@@ -227,6 +230,7 @@ SolveStats solve_ppcg(SolverKernels& k, const SolveOptions& opt) {
     const double alpha = rro / pw;
     double rrn = k.cg_calc_ur(alpha);
     ++stats.iterations;
+    ++stats.classic_iterations;  // outer PPCG stays on the classic kernels
     stats.rr_history.push_back(rrn);
     if (rrn < opt.eps) {
       stats.converged = true;
@@ -248,6 +252,7 @@ SolveStats solve_ppcg(SolverKernels& k, const SolveOptions& opt) {
       }
       k.halo_update(kMaskSd, 1);
       ++stats.inner_iterations;
+      ++(fused_inner ? stats.fused_iterations : stats.classic_iterations);
     }
     rrn = k.calc_2norm(NormTarget::kResidual);
     stats.rr_history.push_back(rrn);
@@ -291,6 +296,7 @@ SolveStats solve_jacobi(SolverKernels& k, const SolveOptions& opt) {
     }
     k.halo_update(kMaskU, 1);
     ++stats.iterations;
+    ++(fused ? stats.fused_iterations : stats.classic_iterations);
     if ((it + 1) % opt.check_interval == 0) {
       rr = residual_norm(k, opt);
       stats.rr_history.push_back(rr);

@@ -54,6 +54,12 @@ struct SolveStats {
   /// alternatively converge on the post-smoothing norm check). The analytic
   /// replay needs this to reproduce the control flow exactly.
   bool converged_on_ur = false;
+  /// Dispatch accounting for telemetry: iterations (outer, plus PPCG inner
+  /// smoothing steps) that ran a caps()-advertised fused kernel path vs. the
+  /// classic kernel sequence. Purely observational — the conformance checker
+  /// compares rr_history/control flow, never these.
+  int fused_iterations = 0;
+  int classic_iterations = 0;
   EigenEstimate spectrum;    // Chebyshev/PPCG only
 };
 

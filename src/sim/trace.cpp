@@ -3,6 +3,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
 
@@ -23,28 +24,7 @@ void RecordingSink::clear() {
 
 namespace {
 
-/// JSON string escaping for the few names we emit (catalogue identifiers,
-/// model/device names); covers the full required set anyway.
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::strf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using util::json_escape;
 
 void write_event(std::ostream& os, const TraceEvent& e, int pid, bool first) {
   if (!first) os << ",\n";
@@ -76,6 +56,15 @@ void write_chrome_trace(std::ostream& os, std::span<const TraceGroup> groups) {
        << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(group.label)
        << "\"}}";
     first = false;
+    if (group.dropped > 0) {
+      // A truncated row must never be read as a complete timeline: surface
+      // the drop count both in-band and on the log.
+      os << ",\n  {\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"dropped_events\":" << group.dropped
+         << "}}";
+      util::log_warn("chrome trace row '%s' truncated: %zu events dropped",
+                     group.label.c_str(), group.dropped);
+    }
     for (const TraceEvent& event : group.events) {
       write_event(os, event, pid, false);
     }

@@ -109,9 +109,13 @@ class TeeSink final : public TraceSink {
 };
 
 /// One named timeline row of a Chrome trace (rendered as its own process).
+/// `dropped` carries RecordingSink::dropped() through to the export: a
+/// truncated trace gets a "trace_truncated" metadata event and a warning so
+/// it is never silently read as complete.
 struct TraceGroup {
   std::string label;
   std::span<const TraceEvent> events;
+  std::size_t dropped = 0;
 };
 
 /// Writes groups in the Chrome trace-event JSON format (load via

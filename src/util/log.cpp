@@ -1,11 +1,13 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
+#include "util/json.hpp"
 #include "util/string_util.hpp"
 
 namespace tl::util {
@@ -20,8 +22,37 @@ LogLevel level_from_env() {
   return LogLevel::kWarn;
 }
 
+LogFormat format_from_env() {
+  const char* env = std::getenv("TL_LOG_FORMAT");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_format(env)) return *parsed;
+  }
+  return LogFormat::kPlain;
+}
+
 std::atomic<LogLevel> g_level{level_from_env()};
+std::atomic<LogFormat> g_format{format_from_env()};
 std::mutex g_mutex;
+
+/// Monotonic ns since the first log statement armed the clock (json lines
+/// only; plain lines carry no timestamp and stay byte-identical).
+long long monotonic_ns() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+const char* level_id(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -34,12 +65,28 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Single emission path for every log line: format_log_line keeps the wire
+/// format in one place, the mutex keeps lines whole under threads.
+void emit(LogLevel level, std::string_view message) {
+  const LogFormat format = g_format.load(std::memory_order_relaxed);
+  const long long ts = format == LogFormat::kJson ? monotonic_ns() : 0;
+  const std::string line = format_log_line(format, level, message, ts);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 void vlog(LogLevel level, const char* fmt, va_list args) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] ", level_name(level));
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  std::string message;
+  if (needed > 0) {
+    message.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(message.data(), message.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  emit(level, message);
 }
 }  // namespace
 
@@ -53,16 +100,41 @@ std::optional<LogLevel> parse_log_level(std::string_view text) {
   return std::nullopt;
 }
 
+std::optional<LogFormat> parse_log_format(std::string_view text) {
+  const std::string norm = to_lower(trim(text));
+  if (norm == "plain" || norm == "text") return LogFormat::kPlain;
+  if (norm == "json") return LogFormat::kJson;
+  return std::nullopt;
+}
+
 void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+
+LogFormat log_format() noexcept {
+  return g_format.load(std::memory_order_relaxed);
+}
+
+std::string format_log_line(LogFormat format, LogLevel level,
+                            std::string_view message, long long ts_ns) {
+  if (format == LogFormat::kJson) {
+    return strf("{\"level\":\"%s\",\"ts_ns\":%lld,\"message\":\"%s\"}",
+                level_id(level), ts_ns,
+                json_escape(message).c_str());
+  }
+  return strf("[%s] %.*s", level_name(level),
+              static_cast<int>(message.size()), message.data());
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  emit(level, message);
 }
 
 #define TLM_DEFINE_LOG_FN(name, level)            \

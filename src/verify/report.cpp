@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "ports/registry.hpp"
+#include "util/json.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -41,26 +42,7 @@ void append_metric_json(std::ostringstream& os, const MetricResult& m) {
 
 }  // namespace
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::strf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(std::string_view s) { return util::json_escape(s); }
 
 std::string format_matrix(const ConformanceReport& report) {
   std::ostringstream os;

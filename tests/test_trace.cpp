@@ -355,6 +355,28 @@ TEST(ChromeTrace, GroupsBecomeSeparateProcessRows) {
   EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
 }
 
+TEST(ChromeTrace, TruncatedGroupCarriesDroppedMetadata) {
+  sim::RecordingSink sink(5);
+  phantom_cg_solve(sim::Model::kOmp3Cpp, sim::DeviceId::kCpuSandyBridge, &sink);
+  ASSERT_GT(sink.dropped(), 0u);
+  const sim::TraceGroup groups[] = {
+      {"omp3/cg", sink.events(), sink.dropped()}};
+  std::ostringstream os;
+  sim::write_chrome_trace(os, groups);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"trace_truncated\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+
+  // A group that dropped nothing stays metadata-free.
+  sim::RecordingSink all;
+  phantom_cg_solve(sim::Model::kOmp3Cpp, sim::DeviceId::kCpuSandyBridge, &all);
+  const sim::TraceGroup full[] = {{"omp3/cg", all.events(), all.dropped()}};
+  std::ostringstream os2;
+  sim::write_chrome_trace(os2, full);
+  EXPECT_EQ(os2.str().find("\"trace_truncated\""), std::string::npos);
+}
+
 TEST(ChromeTrace, EscapesJsonSpecialCharacters) {
   sim::TraceEvent ev;
   ev.name = "weird\"name\\with\ncontrol";

@@ -11,6 +11,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/ini.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/span2d.hpp"
@@ -494,4 +495,69 @@ TEST(Csv, WriterAndParserRoundTripRandomCells) {
         << "raw row: " << row;
   }
   std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (util/json.hpp): the telemetry report/check layer rests on it.
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysAndNestedObjects) {
+  const u::JsonValue v = u::parse_json(
+      R"({"a": 1.5, "b": [true, false, null, "x"], "c": {"d": -2e3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.get_number_or("a", 0.0), 1.5);
+  const u::JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->as_array().size(), 4u);
+  EXPECT_TRUE(b->as_array()[0].as_bool());
+  EXPECT_TRUE(b->as_array()[2].is_null());
+  EXPECT_EQ(b->as_array()[3].as_string(), "x");
+  const u::JsonValue* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->get_number_or("d", 0.0), -2000.0);
+}
+
+TEST(Json, PreservesObjectKeyOrder) {
+  const u::JsonValue v = u::parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(Json, DecodesEscapesAndUnicode) {
+  const u::JsonValue v =
+      u::parse_json(R"({"s": "line\nquote\" back\\ uA"})");
+  EXPECT_EQ(v.get_string_or("s", ""), "line\nquote\" back\\ uA");
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const u::JsonValue v =
+      u::parse_json("{\"k\": \"" + u::json_escape(nasty) + "\"}");
+  EXPECT_EQ(v.get_string_or("k", ""), nasty);
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+  EXPECT_THROW(u::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(u::parse_json("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(u::parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(u::parse_json("01"), std::runtime_error);    // number grammar
+  EXPECT_THROW(u::parse_json("1 x"), std::runtime_error);   // trailing junk
+  EXPECT_THROW(u::parse_json("nul"), std::runtime_error);
+  try {
+    u::parse_json("[1, }");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(Json, DefaultingAccessorsIgnoreKindMismatch) {
+  const u::JsonValue v = u::parse_json(R"({"s": "text", "n": 4})");
+  EXPECT_DOUBLE_EQ(v.get_number_or("s", 7.5), 7.5);   // wrong kind
+  EXPECT_DOUBLE_EQ(v.get_number_or("missing", 7.5), 7.5);
+  EXPECT_EQ(v.get_string_or("n", "d"), "d");
+  EXPECT_DOUBLE_EQ(v.get_number_or("n", 0.0), 4.0);
 }
