@@ -1,0 +1,246 @@
+// Service soak bench: push O(10k) mixed-tenant solve jobs through the
+// SolveService and gate on its three promises.
+//
+//   throughput   the pool keeps the (simulated-device) solves flowing; the
+//                measured jobs/s must clear --min-throughput when set.
+//   fairness     no job's measured queue delay exceeds the queue's stated
+//                aging/capacity bound (ServiceReport::fairness_bound).
+//   correctness  every job's final u/energy checksums are bitwise identical
+//                to a standalone run_scenario twin of the same scenario —
+//                the service adds scheduling, never numerics.
+//
+// The job mix is drawn from a fixed-seed util::Rng, and jobs are submitted
+// from one thread, so job ids, the per-tenant rollups, and therefore the
+// structural sections of the emitted BENCH_service.json artifact are fully
+// deterministic — that file is committed and regression-checked by
+// `tl_report --check` (see tests/CMakeLists.txt). Wall-clock fields are the
+// only machine-dependent numbers in it.
+//
+//   --smoke            1 000 jobs (CI per-cell gate); default is the 10 000
+//                      job nightly soak
+//   --jobs N           override the job count
+//   --min-throughput X fail below X jobs/s (0 disables; default 0 so
+//                      sanitizer builds pass — the nightly sets a floor)
+//   --report=FILE      artifact path (default BENCH_service.json)
+//   --workers/--large-workers/--capacity/--batch/--aging  pool knobs
+
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/entry.hpp"
+#include "service/job.hpp"
+#include "service/pool.hpp"
+#include "service/report.hpp"
+#include "ports/registry.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tl;
+
+constexpr std::uint64_t kMixSeed = 0x7ea1ea55ULL;  // fixed: artifact is golden
+
+struct ModelDevice {
+  sim::Model model;
+  sim::DeviceId device;
+};
+
+/// The paper's device-tuned baseline, a portable CPU model, and the GPU
+/// baseline — enough to mix host- and device-shaped ports in one queue.
+constexpr ModelDevice kPairs[] = {
+    {sim::Model::kOmp3Cpp, sim::DeviceId::kCpuSandyBridge},
+    {sim::Model::kKokkos, sim::DeviceId::kCpuSandyBridge},
+    {sim::Model::kCuda, sim::DeviceId::kGpuK20X},
+};
+
+constexpr const char* kTenants[] = {"acme", "burl", "cato",
+                                    "dene", "etna", "frey"};
+
+service::Job draw_job(util::Rng& rng) {
+  service::Job job;
+  // Tenant weights: two heavy hitters, four long-tail.
+  const std::uint64_t t = rng.next_below(10);
+  job.tenant = kTenants[t < 3 ? 0 : (t < 6 ? 1 : 2 + (t - 6) % 4)];
+  // Priorities: 20% high, 50% normal, 30% low.
+  const std::uint64_t p = rng.next_below(10);
+  job.priority = p < 2 ? service::Priority::kHigh
+                       : (p < 7 ? service::Priority::kNormal
+                                : service::Priority::kLow);
+
+  service::Scenario& s = job.scenario;
+  s.settings = core::Settings::default_problem();
+  const ModelDevice& pair = kPairs[rng.next_below(std::size(kPairs))];
+  s.model = pair.model;
+  s.device = pair.device;
+  // Mostly tiny meshes; the occasional 96^2 exercises the large lane.
+  static constexpr int kMeshes[] = {16, 16, 16, 24, 24, 32, 32, 48, 48, 96};
+  s.settings.nx = s.settings.ny = kMeshes[rng.next_below(std::size(kMeshes))];
+  static constexpr int kRanks[] = {1, 1, 1, 2, 2, 4};
+  s.settings.nranks = kRanks[rng.next_below(std::size(kRanks))];
+  static constexpr core::SolverKind kSolvers[] = {
+      core::SolverKind::kCg, core::SolverKind::kCg, core::SolverKind::kCheby,
+      core::SolverKind::kPpcg, core::SolverKind::kJacobi};
+  s.settings.solver = kSolvers[rng.next_below(std::size(kSolvers))];
+  s.settings.eps = 1e-6;
+  s.settings.max_iters = 200;
+  s.settings.end_step = 1;
+  return job;
+}
+
+bool checksums_equal(const verify::FieldChecksum& a,
+                     const verify::FieldChecksum& b) {
+  return a.sum == b.sum && a.l2 == b.l2 && a.min == b.min && a.max == b.max;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const long jobs_requested =
+      cli.get_long_or("jobs", smoke ? 1'000 : 10'000);
+  const double min_throughput = cli.get_double_or("min-throughput", 0.0);
+  const std::string report_path = cli.get_or("report", "BENCH_service.json");
+
+  service::ServiceConfig config;
+  config.small_workers =
+      static_cast<int>(cli.get_long_or("workers", 3));
+  config.large_workers =
+      static_cast<int>(cli.get_long_or("large-workers", 1));
+  config.queue_capacity =
+      static_cast<std::size_t>(cli.get_long_or("capacity", 256));
+  config.batch_max = static_cast<std::size_t>(cli.get_long_or("batch", 8));
+  config.aging_interval =
+      static_cast<std::uint64_t>(cli.get_long_or("aging", 16));
+  config.validate();
+
+  for (const ModelDevice& pair : kPairs) {
+    if (!ports::is_supported(pair.model, pair.device)) {
+      std::fprintf(stderr, "service soak: pair %s x %s unsupported\n",
+                   std::string(sim::model_id(pair.model)).c_str(),
+                   std::string(sim::device_short_name(pair.device)).c_str());
+      return 1;
+    }
+  }
+
+  // Draw the whole mix up front: the scenario set (and thus the standalone
+  // twin set) is fixed before the first job runs.
+  util::Rng rng(kMixSeed);
+  std::vector<service::Job> mix;
+  mix.reserve(static_cast<std::size_t>(jobs_requested));
+  for (long i = 0; i < jobs_requested; ++i) mix.push_back(draw_job(rng));
+
+  std::printf("service soak: %ld job(s), %d+%d workers, batch %zu, "
+              "capacity %zu, aging %llu\n",
+              jobs_requested, config.small_workers, config.large_workers,
+              config.batch_max, config.queue_capacity,
+              static_cast<unsigned long long>(config.aging_interval));
+
+  service::SolveService svc(config);
+  for (service::Job& job : mix) svc.submit(std::move(job));
+  const service::ServiceReport report = svc.finish();
+
+  int gate_failures = 0;
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "service soak: GATE FAILED: %s\n", what);
+    ++gate_failures;
+  };
+
+  if (report.results.size() != static_cast<std::size_t>(jobs_requested)) {
+    fail("not every submitted job was drained");
+  }
+  if (!report.all_ok()) fail("a job failed (ok == false)");
+  if (report.max_wait_pops() > report.fairness_bound) {
+    std::fprintf(stderr, "  max_wait_pops %llu > bound %llu\n",
+                 static_cast<unsigned long long>(report.max_wait_pops()),
+                 static_cast<unsigned long long>(report.fairness_bound));
+    fail("a job waited past the fairness bound");
+  }
+
+  // Bit-identity: one standalone twin per distinct scenario, every job
+  // compared against its twin's checksums.
+  std::map<std::string, service::ScenarioOutcome> twins;
+  {
+    util::Rng replay(kMixSeed);
+    for (long i = 0; i < jobs_requested; ++i) {
+      const service::Job job = draw_job(replay);
+      const std::string key = job.scenario.key();
+      if (twins.find(key) == twins.end()) {
+        twins.emplace(key, service::run_scenario(job.scenario));
+      }
+    }
+  }
+  std::uint64_t verified = 0, identical = 0;
+  {
+    util::Rng replay(kMixSeed);
+    for (const service::JobResult& r : report.results) {
+      const service::Job job = draw_job(replay);  // results are id-sorted
+      const auto it = twins.find(job.scenario.key());
+      if (it == twins.end() || !r.ok) continue;
+      ++verified;
+      if (checksums_equal(r.u_checksum, it->second.u_checksum) &&
+          checksums_equal(r.energy_checksum, it->second.energy_checksum)) {
+        ++identical;
+      } else {
+        std::fprintf(stderr, "  checksum mismatch: job %llu (%s)\n",
+                     static_cast<unsigned long long>(r.id),
+                     job.scenario.key().c_str());
+      }
+    }
+  }
+  if (verified != static_cast<std::uint64_t>(jobs_requested)) {
+    fail("not every job was verified against a standalone twin");
+  }
+  if (identical != verified) fail("service results not bit-identical");
+
+  const double jobs_per_s =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.results.size()) / report.wall_seconds
+          : 0.0;
+  if (min_throughput > 0.0 && jobs_per_s < min_throughput) {
+    std::fprintf(stderr, "  %.1f jobs/s < floor %.1f\n", jobs_per_s,
+                 min_throughput);
+    fail("throughput below floor");
+  }
+
+  util::Table table({"tenant", "jobs", "failures", "iterations", "sim s",
+                     "max wait"});
+  for (const service::TenantSummary& t : report.tenants) {
+    table.row({t.tenant, util::strf("%llu", (unsigned long long)t.jobs),
+               util::strf("%llu", (unsigned long long)t.failures),
+               util::strf("%llu", (unsigned long long)t.iterations),
+               util::strf("%.4f", t.sim_seconds),
+               util::strf("%llu", (unsigned long long)t.max_wait_pops)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "service soak: %zu job(s) in %.2f s (%.1f jobs/s), %zu scenario(s), "
+      "%llu/%llu bit-identical, max wait %llu (bound %llu)\n",
+      report.results.size(), report.wall_seconds, jobs_per_s, twins.size(),
+      static_cast<unsigned long long>(identical),
+      static_cast<unsigned long long>(verified),
+      static_cast<unsigned long long>(report.max_wait_pops()),
+      static_cast<unsigned long long>(report.fairness_bound));
+
+  service::ArtifactInfo info;
+  info.scenarios = twins.size();
+  info.verified = verified;
+  info.bit_identical = identical;
+  if (!service::write_service_artifact(report_path, config, report, info)) {
+    ++gate_failures;
+  }
+  std::printf("service soak: wrote %s\n", report_path.c_str());
+
+  if (gate_failures > 0) {
+    std::fprintf(stderr, "service soak: %d gate(s) FAILED\n", gate_failures);
+    return 1;
+  }
+  std::printf("service soak: all gates passed\n");
+  return 0;
+}

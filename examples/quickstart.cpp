@@ -30,6 +30,7 @@
 #include "core/driver.hpp"
 #include "dist/driver.hpp"
 #include "ports/registry.hpp"
+#include "service/entry.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/collectors.hpp"
 #include "telemetry/report.hpp"
@@ -85,38 +86,26 @@ int main(int argc, char** argv) {
   const std::string report_path = cli.get_or("report", "");
   const bool observe = profile || !trace_path.empty() || !report_path.empty();
 
-  // Observability: sinks hang off the shared metering spine, so the live
-  // port emits one event per metered launch/transfer with no port changes.
-  // Distributed runs get one sink per rank (each rank's stream includes its
-  // "comm"-phase halo_exchange/allreduce events).
-  core::RunReport report;
-  std::vector<sim::RecordingSink> rank_sinks;
-  std::vector<dist::RankReport> rank_reports;
+  // One solve entry point for every front end (src/service/entry.hpp): the
+  // same call the solve service's workers make. Observability hooks hang the
+  // sinks off the shared metering spine — one RecordingSink per rank, rank 0
+  // doubling as the single-chunk sink.
+  service::Scenario scenario;
+  scenario.settings = settings;
+  scenario.model = *model;
+  scenario.device = *device;
 
-  if (ranks > 1) {
-    dist::DistributedDriver driver(
-        settings, [&](const core::Mesh& mesh, int rank) {
-          return ports::make_port(*model, *device, mesh,
-                                  1 + static_cast<std::uint64_t>(rank));
-        });
-    rank_sinks = std::vector<sim::RecordingSink>(
-        observe ? static_cast<std::size_t>(ranks) : 0);
-    if (observe) {
-      std::vector<sim::TraceSink*> ptrs;
-      for (sim::RecordingSink& s : rank_sinks) ptrs.push_back(&s);
-      driver.set_rank_sinks(std::move(ptrs));
-    }
-    dist::DistReport dreport = driver.run();
-    report = std::move(dreport.run);
-    rank_reports = std::move(dreport.ranks);
-  } else {
-    core::Driver driver(
-        settings, ports::make_port(*model, *device,
-                                   core::Mesh(nx, nx, settings.halo_depth)));
-    rank_sinks = std::vector<sim::RecordingSink>(observe ? 1 : 0);
-    if (observe) driver.kernels().attach_trace_sink(&rank_sinks[0]);
-    report = driver.run();
+  std::vector<sim::RecordingSink> rank_sinks(
+      observe ? static_cast<std::size_t>(ranks) : 0);
+  service::ScenarioHooks hooks;
+  if (observe) {
+    hooks.sink_for_rank = [&rank_sinks](int rank) -> sim::TraceSink* {
+      return &rank_sinks[static_cast<std::size_t>(rank)];
+    };
   }
+  service::ScenarioOutcome outcome = service::run_scenario(scenario, hooks);
+  const core::RunReport report = std::move(outcome.run);
+  const std::vector<dist::RankReport> rank_reports = std::move(outcome.ranks);
 
   for (const auto& step : report.steps) {
     std::printf(

@@ -6,14 +6,18 @@
 #
 #   scripts/ci_local.sh           # full matrix + tsan + conformance + smoke
 #   scripts/ci_local.sh --quick   # release/default-compiler leg only
+#   scripts/ci_local.sh --soak    # add the full 10k-job service soak leg
 #
-# Exits nonzero on the first failing leg.
+# Every leg runs to completion even if an earlier one failed; the script
+# prints a per-leg PASS/FAIL summary and exits nonzero if any leg failed.
+# (Each leg executes as a child `bash "$0" --leg ...` process with its own
+# `set -e` — errexit is unreliable inside functions called from condition
+# contexts, which is exactly how per-leg status has to be collected, so
+# process isolation is the only way a leg's failure is neither lost nor
+# fatal to the matrix.)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-QUICK=0
-[ "${1:-}" = "--quick" ] && QUICK=1
 
 note() { printf '\n== %s ==\n' "$*"; }
 
@@ -53,6 +57,16 @@ run_leg() { # run_leg <preset> <cc> <cxx>
   (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_fig13_scaling" --smoke >/dev/null)
   echo "overlap JSON: bench-smoke-${preset}-${cc}/BENCH_overlap.json"
 
+  note "service soak smoke: bench_service --smoke (${preset} / ${cc})"
+  # 1k mixed-tenant jobs through the SolveService; the bench exits nonzero
+  # on a fairness-bound breach or any service-vs-standalone checksum
+  # mismatch, and the artifact is regression-checked against the committed
+  # baseline (structural counts exact, wall clock with a generous slack).
+  (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_service" --smoke >/dev/null)
+  "./$build_dir/tools/tl_report" \
+    --check "bench-smoke-${preset}-${cc}/BENCH_service.json" \
+    --baseline=BENCH_service.json --rel-tol=3.0
+
   note "run-report regression gate: tl_report --check (${preset} / ${cc})"
   # The canonical deterministic run report, regenerated and checked against
   # the committed baseline (exact counts, 10% slower-only time tolerance).
@@ -70,7 +84,7 @@ run_tsan() { # run_tsan <cc> <cxx>
   note "leg: tsan / ${cc} (threading suites)"
   CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist tests_regions tests_telemetry
+    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist tests_regions tests_telemetry tests_service
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_fusion"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_ports"
@@ -79,7 +93,44 @@ run_tsan() { # run_tsan <cc> <cxx>
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_dist"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_regions"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_telemetry"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_service"
 }
+
+run_soak() { # run_soak <cc> <cxx>
+  local cc=$1 cxx=$2
+  local build_dir="build-release-${cc}"
+  note "leg: service soak / ${cc} (10k jobs)"
+  CC=$cc CXX=$cxx cmake --preset release -B "$build_dir" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_service
+  mkdir -p "bench-smoke-release-${cc}"
+  (cd "bench-smoke-release-${cc}" && \
+    "../$build_dir/bench/bench_service" --min-throughput 50 \
+      --report=BENCH_service_full.json)
+}
+
+# Child mode: execute exactly one leg under this file's `set -e`, so a
+# failure anywhere inside it yields a nonzero exit the parent can record.
+if [ "${1:-}" = "--leg" ]; then
+  shift
+  kind=$1; shift
+  case "$kind" in
+    matrix) run_leg "$@" ;;
+    tsan)   run_tsan "$@" ;;
+    soak)   run_soak "$@" ;;
+    *) echo "ci_local: unknown leg kind '$kind'" >&2; exit 2 ;;
+  esac
+  exit 0
+fi
+
+QUICK=0
+SOAK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --soak)  SOAK=1 ;;
+    *) echo "ci_local: unknown option '$arg'" >&2; exit 2 ;;
+  esac
+done
 
 compilers=()
 command -v gcc >/dev/null 2>&1 && compilers+=("gcc:g++")
@@ -90,20 +141,45 @@ if [ "${#compilers[@]}" -eq 0 ]; then
 fi
 command -v clang >/dev/null 2>&1 || echo "ci_local: clang not installed, skipping clang legs"
 
+leg_names=()
+leg_status=()
+dispatch() { # dispatch <name> <kind> [args...]
+  local name=$1; shift
+  local rc=0
+  bash "$0" --leg "$@" || rc=$?
+  leg_names+=("$name")
+  leg_status+=("$rc")
+}
+
 if [ "$QUICK" -eq 1 ]; then
   IFS=: read -r cc cxx <<<"${compilers[0]}"
-  run_leg release "$cc" "$cxx"
-  note "ci_local --quick: PASS"
-  exit 0
+  dispatch "release/${cc}" matrix release "$cc" "$cxx"
+else
+  for entry in "${compilers[@]}"; do
+    IFS=: read -r cc cxx <<<"$entry"
+    dispatch "release/${cc}" matrix release "$cc" "$cxx"
+    dispatch "asan/${cc}" matrix asan "$cc" "$cxx"
+  done
+  IFS=: read -r cc cxx <<<"${compilers[0]}"
+  dispatch "tsan/${cc}" tsan "$cc" "$cxx"
+fi
+if [ "$SOAK" -eq 1 ]; then
+  IFS=: read -r cc cxx <<<"${compilers[0]}"
+  dispatch "soak/${cc}" soak "$cc" "$cxx"
 fi
 
-for entry in "${compilers[@]}"; do
-  IFS=: read -r cc cxx <<<"$entry"
-  run_leg release "$cc" "$cxx"
-  run_leg asan "$cc" "$cxx"
+note "ci_local summary"
+failed=0
+for i in "${!leg_names[@]}"; do
+  if [ "${leg_status[$i]}" -eq 0 ]; then
+    printf '  PASS  %s\n' "${leg_names[$i]}"
+  else
+    printf '  FAIL  %s (exit %s)\n' "${leg_names[$i]}" "${leg_status[$i]}"
+    failed=1
+  fi
 done
-
-IFS=: read -r cc cxx <<<"${compilers[0]}"
-run_tsan "$cc" "$cxx"
-
-note "ci_local: all legs PASS"
+if [ "$failed" -ne 0 ]; then
+  echo "ci_local: FAILED"
+  exit 1
+fi
+echo "ci_local: all legs PASS"

@@ -75,13 +75,28 @@ std::size_t DistReport::total_comm_bytes() const {
 DistributedDriver::DistributedDriver(const core::Settings& settings,
                                      PortFactory factory,
                                      const sim::NetworkSpec& net)
+    : DistributedDriver(
+          settings, std::move(factory),
+          comm::BlockDecomposition(settings.nx, settings.ny, settings.nranks),
+          net) {}
+
+DistributedDriver::DistributedDriver(const core::Settings& settings,
+                                     PortFactory factory,
+                                     comm::BlockDecomposition decomp,
+                                     const sim::NetworkSpec& net)
     : settings_(settings),
-      decomp_(settings.nx, settings.ny, settings.nranks),
+      decomp_(std::move(decomp)),
       global_mesh_(global_mesh_from(settings)),
       factory_(std::move(factory)),
       net_(&net) {
   settings_.validate();
   if (!factory_) throw std::invalid_argument("DistributedDriver: null factory");
+  if (decomp_.global_nx() != settings_.nx ||
+      decomp_.global_ny() != settings_.ny ||
+      decomp_.nranks() != settings_.nranks) {
+    throw std::invalid_argument(
+        "DistributedDriver: decomposition does not match settings");
+  }
 }
 
 DistReport DistributedDriver::run() {

@@ -63,6 +63,15 @@ class DistributedDriver {
   DistributedDriver(const core::Settings& settings, PortFactory factory,
                     const sim::NetworkSpec& net = sim::node_interconnect());
 
+  /// As above, but adopts a precomputed decomposition instead of deriving
+  /// one from the settings — the solve service's Session caches
+  /// decompositions across jobs with repeated mesh shapes. Throws
+  /// std::invalid_argument when `decomp` does not match the settings'
+  /// (nx, ny, nranks).
+  DistributedDriver(const core::Settings& settings, PortFactory factory,
+                    comm::BlockDecomposition decomp,
+                    const sim::NetworkSpec& net = sim::node_interconnect());
+
   /// Runs settings.end_step steps over settings.nranks ranks.
   DistReport run();
 

@@ -1,0 +1,91 @@
+#pragma once
+// Job: one tenant's solve request, and the result the service hands back.
+//
+// A Job is pure data — settings + scenario (model, device) + tenant id — so
+// it can sit in a queue, be batched, and be replayed standalone. A JobResult
+// carries everything a tenant needs to trust the answer without the fields
+// themselves: the solve statistics, the simulated cost, and bit-comparable
+// interior checksums of the final u/energy fields. Two runs of the same Job
+// (through the service or through a standalone DistributedDriver) produce
+// byte-identical checksums — the soak bench's core assertion.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/settings.hpp"
+#include "sim/device.hpp"
+#include "sim/model_id.hpp"
+#include "verify/checksum.hpp"
+
+namespace tl::service {
+
+/// What to solve: the full deck plus the programming model x device pair.
+/// settings.nranks selects the decomposition width, exactly as a standalone
+/// DistributedDriver run would.
+struct Scenario {
+  core::Settings settings;
+  sim::Model model = sim::Model::kOmp3Cpp;
+  sim::DeviceId device = sim::DeviceId::kCpuSandyBridge;
+
+  int cells() const noexcept { return settings.nx * settings.ny; }
+
+  /// Stable identity key (mesh, solver, model, device, ranks, steps) — used
+  /// to dedupe standalone verification twins in the soak bench. Two jobs
+  /// with equal keys produce bit-identical results.
+  std::string key() const;
+};
+
+/// Scheduling class. Lower value = served sooner; the queue's aging bound
+/// guarantees even kLow jobs are dispatched within a stated number of pops.
+enum class Priority : int { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr int kPriorityLevels = 3;
+
+constexpr std::string_view priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+std::optional<Priority> parse_priority(std::string_view name);
+
+struct Job {
+  std::uint64_t id = 0;  // assigned by the service at submit
+  std::string tenant;
+  Priority priority = Priority::kNormal;
+  Scenario scenario;
+};
+
+/// One finished job. `ok == false` means the job was rejected or threw
+/// (unsupported model x device, invalid settings); `error` says why, and the
+/// solve fields are zero.
+struct JobResult {
+  std::uint64_t id = 0;
+  std::string tenant;
+  Priority priority = Priority::kNormal;
+
+  bool ok = false;
+  std::string error;
+
+  // Solve outcome (identical to the standalone run's).
+  bool converged = false;
+  int iterations = 0;
+  int inner_iterations = 0;
+  double final_rr = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t comm_bytes = 0;
+  verify::FieldChecksum u_checksum;
+  verify::FieldChecksum energy_checksum;
+
+  // Scheduling provenance.
+  int worker = -1;          // worker index that ran the job
+  std::uint64_t batch = 0;  // batch the job was dispatched in (1-based)
+  std::uint64_t wait_pops = 0;  // jobs dispatched between submit and dispatch
+  double wall_ns = 0.0;         // measured execution time in the worker
+};
+
+}  // namespace tl::service

@@ -1,0 +1,154 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tl::service {
+
+JobQueue::JobQueue(std::size_t capacity, std::uint64_t aging_interval)
+    : capacity_(capacity), aging_(aging_interval) {
+  if (capacity == 0) {
+    throw std::invalid_argument("JobQueue: capacity must be positive");
+  }
+  if (aging_interval == 0) {
+    throw std::invalid_argument("JobQueue: aging interval must be positive");
+  }
+}
+
+bool JobQueue::push(Job job) {
+  std::unique_lock lock(mutex_);
+  if (size_ >= capacity_ && !closed_) ++stats_.blocked_pushes;
+  space_cv_.wait(lock, [&] { return size_ < capacity_ || closed_; });
+  if (closed_) return false;
+  const int cls = std::clamp(static_cast<int>(job.priority), 0,
+                             kPriorityLevels - 1);
+  classes_[cls].push_back(
+      Entry{std::move(job), next_seq_++, stats_.popped});
+  ++size_;
+  ++stats_.pushed;
+  item_cv_.notify_one();
+  return true;
+}
+
+bool JobQueue::try_push(Job job) {
+  std::lock_guard lock(mutex_);
+  if (closed_ || size_ >= capacity_) return false;
+  const int cls = std::clamp(static_cast<int>(job.priority), 0,
+                             kPriorityLevels - 1);
+  classes_[cls].push_back(
+      Entry{std::move(job), next_seq_++, stats_.popped});
+  ++size_;
+  ++stats_.pushed;
+  item_cv_.notify_one();
+  return true;
+}
+
+int JobQueue::effective_priority(int cls) const {
+  if (classes_[cls].empty()) return -1;
+  const Entry& head = classes_[cls].front();
+  const std::uint64_t age = stats_.popped - head.popped_at_push;
+  const std::uint64_t boost = age / aging_;
+  const std::uint64_t p = static_cast<std::uint64_t>(cls);
+  return static_cast<int>(p > boost ? p - boost : 0);
+}
+
+int JobQueue::pick_class() const {
+  int best = -1;
+  int best_key = 0;
+  std::uint64_t best_seq = 0;
+  for (int cls = 0; cls < kPriorityLevels; ++cls) {
+    const int key = effective_priority(cls);
+    if (key < 0) continue;
+    const std::uint64_t seq = classes_[cls].front().seq;
+    if (best < 0 || key < best_key || (key == best_key && seq < best_seq)) {
+      best = cls;
+      best_key = key;
+      best_seq = seq;
+    }
+  }
+  return best;
+}
+
+Dispatch JobQueue::take_front(int cls) {
+  Entry entry = std::move(classes_[cls].front());
+  classes_[cls].pop_front();
+  --size_;
+  const std::uint64_t wait = stats_.popped - entry.popped_at_push;
+  ++stats_.popped;
+  stats_.max_wait_pops = std::max(stats_.max_wait_pops, wait);
+  return Dispatch{std::move(entry.job), wait};
+}
+
+std::optional<Dispatch> JobQueue::pop() {
+  std::unique_lock lock(mutex_);
+  item_cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) return std::nullopt;  // closed and drained
+  const int cls = pick_class();
+  Dispatch d = take_front(cls);
+  ++stats_.batches;
+  space_cv_.notify_one();
+  return d;
+}
+
+std::vector<Dispatch> JobQueue::pop_batch(std::size_t max_batch) {
+  std::vector<Dispatch> batch;
+  if (max_batch == 0) return batch;
+  std::unique_lock lock(mutex_);
+  item_cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) return batch;  // closed and drained
+
+  const int cls = pick_class();
+  batch.push_back(take_front(cls));
+  // Copy, not reference: push_back below may reallocate `batch`.
+  const std::string tenant = batch.front().job.tenant;
+  // Greedy same-tenant extension: scan the class FIFO front-to-back so the
+  // batch preserves arrival order; never crosses tenants or classes.
+  std::deque<Entry>& q = classes_[cls];
+  for (std::size_t i = 0; i < q.size() && batch.size() < max_batch;) {
+    if (q[i].job.tenant == tenant) {
+      Entry entry = std::move(q[i]);
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      --size_;
+      const std::uint64_t wait = stats_.popped - entry.popped_at_push;
+      ++stats_.popped;
+      stats_.max_wait_pops = std::max(stats_.max_wait_pops, wait);
+      batch.push_back(Dispatch{std::move(entry.job), wait});
+    } else {
+      ++i;
+    }
+  }
+  ++stats_.batches;
+  space_cv_.notify_all();
+  return batch;
+}
+
+void JobQueue::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  item_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard lock(mutex_);
+  return size_;
+}
+
+QueueStats JobQueue::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t JobQueue::fairness_bound(std::size_t max_batch) const noexcept {
+  const std::uint64_t per_decision = std::max<std::size_t>(max_batch, 1);
+  return per_decision *
+         (static_cast<std::uint64_t>(kPriorityLevels - 1) * aging_ +
+          capacity_);
+}
+
+}  // namespace tl::service

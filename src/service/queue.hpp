@@ -1,0 +1,119 @@
+#pragma once
+// JobQueue: the bounded, priority-aware admission queue in front of the
+// worker pool.
+//
+// Shape follows the classic ThreadSafeQueue (mutex + two condvars, one for
+// space and one for items) with two service-specific twists:
+//
+//   * Priority with aging. Jobs live in one FIFO deque per priority class.
+//     A pop serves the class head with the smallest *effective* priority
+//     `max(0, p - age / aging_interval)` (age measured in jobs dispatched
+//     since the job was submitted), ties broken by global arrival order.
+//     Every job therefore ages to effective priority 0 after at most
+//     `p * aging_interval` dispatches, after which nothing submitted later
+//     can be served before it — the starvation bound below.
+//
+//   * Tenant-pure batching. pop_batch dequeues the scheduler's head choice
+//     and then greedily takes up to `max_batch - 1` more jobs *of the same
+//     tenant* from the same priority class, in FIFO order. A batch never
+//     mixes tenants (tenants' fields must never share a worker dispatch),
+//     and never jumps priority classes.
+//
+// Starvation bound: a job of priority p waits at most
+//   p * aging_interval + capacity
+// dispatches from submission (once aged to 0 it beats every newer job, and
+// at most `capacity` older jobs can still be queued ahead of it). Batching
+// can dispatch up to max_batch jobs per scheduling decision, so the
+// service-level bound is `max_batch * (p * aging + capacity)` — see
+// fairness_bound(). The soak bench asserts every job's measured wait
+// against this bound.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace tl::service {
+
+/// A dequeued job plus its measured queue delay (jobs dispatched between
+/// its submission and its dispatch — the fairness metric).
+struct Dispatch {
+  Job job;
+  std::uint64_t wait_pops = 0;
+};
+
+struct QueueStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t blocked_pushes = 0;  // pushes that had to wait for space
+  std::uint64_t max_wait_pops = 0;   // worst dispatch delay observed
+  std::uint64_t batches = 0;         // pop/pop_batch scheduling decisions
+};
+
+class JobQueue {
+ public:
+  /// Throws std::invalid_argument for zero capacity or aging interval.
+  explicit JobQueue(std::size_t capacity, std::uint64_t aging_interval = 16);
+
+  /// Blocks while the queue is full. Returns false (job dropped) iff the
+  /// queue was closed before space appeared.
+  bool push(Job job);
+
+  /// Non-blocking push: false when full or closed.
+  bool try_push(Job job);
+
+  /// Blocks until a job is available; nullopt once closed *and* drained —
+  /// workers use that as their exit signal.
+  std::optional<Dispatch> pop();
+
+  /// Pops the scheduler's head choice plus up to `max_batch - 1` further
+  /// same-tenant jobs from the same priority class (FIFO order). Empty
+  /// result once closed and drained.
+  std::vector<Dispatch> pop_batch(std::size_t max_batch);
+
+  /// Wakes every waiter; subsequent pushes are rejected, pops drain what is
+  /// left. Idempotent.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t aging_interval() const noexcept { return aging_; }
+  QueueStats stats() const;
+
+  /// Upper bound on any job's wait_pops when every scheduling decision
+  /// dispatches at most `max_batch` jobs (see file comment).
+  std::uint64_t fairness_bound(std::size_t max_batch) const noexcept;
+
+ private:
+  struct Entry {
+    Job job;
+    std::uint64_t seq = 0;          // global arrival order
+    std::uint64_t popped_at_push = 0;  // popped_ when submitted (age base)
+  };
+
+  // Effective priority of a class head at the current dispatch count; -1
+  // for an empty class. Caller holds mutex_.
+  int effective_priority(int cls) const;
+  // The class the next pop should serve; -1 when everything is empty.
+  int pick_class() const;
+  Dispatch take_front(int cls);
+
+  const std::size_t capacity_;
+  const std::uint64_t aging_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;
+  std::condition_variable item_cv_;
+  std::deque<Entry> classes_[kPriorityLevels];
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  std::uint64_t next_seq_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace tl::service

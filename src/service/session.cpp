@@ -1,0 +1,97 @@
+#include "service/session.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "util/string_util.hpp"
+
+namespace tl::service {
+
+namespace {
+
+/// Dispatch-delay histogram bounds (pops). The fairness bound for default
+/// configs lands in the hundreds, so the top finite bucket sits at 512.
+constexpr double kWaitBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+
+}  // namespace
+
+const comm::BlockDecomposition& Session::decomposition_for(
+    const Scenario& scenario) {
+  const std::string key =
+      util::strf("%dx%d/r%d", scenario.settings.nx, scenario.settings.ny,
+                 scenario.settings.nranks);
+  auto it = decompositions_.find(key);
+  if (it == decompositions_.end()) {
+    it = decompositions_
+             .emplace(key, comm::BlockDecomposition(scenario.settings.nx,
+                                                    scenario.settings.ny,
+                                                    scenario.settings.nranks))
+             .first;
+  }
+  return it->second;
+}
+
+JobResult Session::run(const Job& job) {
+  JobResult result;
+  result.id = job.id;
+  result.tenant = job.tenant;
+  result.priority = job.priority;
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    ScenarioHooks hooks;
+    hooks.host_threads = config_.host_threads;
+    if (job.scenario.settings.nranks > 1) {
+      hooks.decomposition = &decomposition_for(job.scenario);
+    }
+    const ScenarioOutcome outcome = run_scenario(job.scenario, hooks);
+
+    result.ok = true;
+    result.sim_seconds = outcome.run.sim_total_seconds;
+    result.kernel_launches = outcome.run.kernel_launches;
+    result.u_checksum = outcome.u_checksum;
+    result.energy_checksum = outcome.energy_checksum;
+    for (const dist::RankReport& r : outcome.ranks) {
+      result.comm_bytes += r.comm.bytes;
+    }
+    if (!outcome.run.steps.empty()) {
+      const core::StepReport& last = outcome.run.steps.back();
+      result.converged = last.solve.converged;
+      result.final_rr = last.solve.final_rr;
+    }
+    for (const core::StepReport& step : outcome.run.steps) {
+      result.iterations += step.solve.iterations;
+      result.inner_iterations += step.solve.inner_iterations;
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  result.wall_ns = std::chrono::duration<double, std::nano>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ++jobs_run_;
+  return result;
+}
+
+void Session::meter(const JobResult& result) {
+  const telemetry::MetricsRegistry::Labels tenant = {
+      {"tenant", result.tenant}};
+  registry_.add_counter("tl_service_jobs", 1.0, tenant);
+  if (!result.ok) {
+    registry_.add_counter("tl_service_failures", 1.0, tenant);
+    return;
+  }
+  registry_.add_counter("tl_service_iterations",
+                        static_cast<double>(result.iterations), tenant);
+  registry_.add_counter("tl_service_launches",
+                        static_cast<double>(result.kernel_launches), tenant);
+  registry_.add_counter("tl_service_sim_seconds", result.sim_seconds, tenant);
+  registry_.add_counter("tl_service_comm_bytes",
+                        static_cast<double>(result.comm_bytes), tenant);
+  registry_.observe("tl_service_wait_pops",
+                    static_cast<double>(result.wait_pops), kWaitBounds,
+                    tenant);
+}
+
+}  // namespace tl::service

@@ -19,6 +19,7 @@ ArtifactKind classify(const util::JsonValue& doc) {
   const std::string bench = doc.get_string_or("bench", "");
   if (bench == "fusion") return ArtifactKind::kBenchFusion;
   if (bench == "fig13_overlap") return ArtifactKind::kBenchOverlap;
+  if (bench == "service") return ArtifactKind::kBenchService;
   return ArtifactKind::kUnknown;
 }
 
@@ -27,6 +28,7 @@ std::string_view artifact_kind_name(ArtifactKind kind) {
     case ArtifactKind::kRunReport: return "tl-report-1";
     case ArtifactKind::kBenchFusion: return "bench/fusion";
     case ArtifactKind::kBenchOverlap: return "bench/fig13_overlap";
+    case ArtifactKind::kBenchService: return "bench/service";
     case ArtifactKind::kUnknown: return "unknown";
   }
   return "?";
@@ -199,6 +201,27 @@ void check_run_report(Checker& c, const util::JsonValue& base,
                               b.get_number_or("hidden_fraction", 0.0),
                               n.get_number_or("hidden_fraction", 0.0));
       });
+  // Service runs only: per-tenant rollups. A no-op for classic reports
+  // (both indices empty).
+  check_indexed(
+      c, "tenants", index_by(base, "tenants", {"tenant"}),
+      index_by(cur, "tenants", {"tenant"}),
+      [&](const std::string& key, const util::JsonValue& b,
+          const util::JsonValue& n) {
+        const std::string prefix = "tenants[" + key + "].";
+        c.exact(prefix + "jobs", b.get_number_or("jobs", 0.0),
+                n.get_number_or("jobs", 0.0));
+        c.exact(prefix + "failures", b.get_number_or("failures", 0.0),
+                n.get_number_or("failures", 0.0));
+        c.exact(prefix + "iterations", b.get_number_or("iterations", 0.0),
+                n.get_number_or("iterations", 0.0));
+        c.exact(prefix + "kernel_launches",
+                b.get_number_or("kernel_launches", 0.0),
+                n.get_number_or("kernel_launches", 0.0));
+        c.slower_is_regression(prefix + "sim_seconds",
+                               b.get_number_or("sim_seconds", 0.0),
+                               n.get_number_or("sim_seconds", 0.0));
+      });
 }
 
 void check_bench_fusion(Checker& c, const util::JsonValue& base,
@@ -255,6 +278,60 @@ void check_bench_overlap(Checker& c, const util::JsonValue& base,
       });
 }
 
+// Service soak artifact. The job mix and the simulated timeline of every
+// job are deterministic, so totals and per-tenant counts are exact; wall
+// clock (wall_seconds, jobs_per_s) depends on the machine and is tolerance
+// checked in the regression-only direction. Scheduling outcomes (batches,
+// max_wait_pops) depend on thread interleaving and are not checked — the
+// fairness *bound* is structural and is.
+void check_bench_service(Checker& c, const util::JsonValue& base,
+                         const util::JsonValue& cur) {
+  if (const util::JsonValue* bt = base.find("totals")) {
+    const util::JsonValue* ct = cur.find("totals");
+    const util::JsonValue empty;
+    const util::JsonValue& t = (ct != nullptr) ? *ct : empty;
+    for (const char* field : {"jobs", "failures", "iterations",
+                              "kernel_launches", "comm_bytes", "scenarios",
+                              "verified", "bit_identical"}) {
+      c.exact(std::string("totals.") + field, bt->get_number_or(field, 0.0),
+              t.get_number_or(field, 0.0));
+    }
+    c.slower_is_regression("totals.sim_seconds",
+                           bt->get_number_or("sim_seconds", 0.0),
+                           t.get_number_or("sim_seconds", 0.0));
+  }
+  if (const util::JsonValue* bs = base.find("schedule")) {
+    const util::JsonValue* cs = cur.find("schedule");
+    const util::JsonValue empty;
+    const util::JsonValue& s = (cs != nullptr) ? *cs : empty;
+    c.exact("schedule.fairness_bound",
+            bs->get_number_or("fairness_bound", 0.0),
+            s.get_number_or("fairness_bound", 0.0));
+    c.slower_is_regression("schedule.wall_seconds",
+                           bs->get_number_or("wall_seconds", 0.0),
+                           s.get_number_or("wall_seconds", 0.0));
+    c.lower_is_regression("schedule.jobs_per_s",
+                          bs->get_number_or("jobs_per_s", 0.0),
+                          s.get_number_or("jobs_per_s", 0.0));
+  }
+  check_indexed(
+      c, "tenants", index_by(base, "tenants", {"tenant"}),
+      index_by(cur, "tenants", {"tenant"}),
+      [&](const std::string& key, const util::JsonValue& b,
+          const util::JsonValue& n) {
+        const std::string prefix = "tenants[" + key + "].";
+        for (const char* field : {"jobs", "failures", "converged",
+                                  "iterations", "inner_iterations",
+                                  "kernel_launches", "comm_bytes"}) {
+          c.exact(prefix + field, b.get_number_or(field, 0.0),
+                  n.get_number_or(field, 0.0));
+        }
+        c.slower_is_regression(prefix + "sim_seconds",
+                               b.get_number_or("sim_seconds", 0.0),
+                               n.get_number_or("sim_seconds", 0.0));
+      });
+}
+
 }  // namespace
 
 CheckResult check(const util::JsonValue& baseline,
@@ -279,6 +356,9 @@ CheckResult check(const util::JsonValue& baseline,
       break;
     case ArtifactKind::kBenchOverlap:
       check_bench_overlap(c, baseline, current);
+      break;
+    case ArtifactKind::kBenchService:
+      check_bench_service(c, baseline, current);
       break;
     case ArtifactKind::kUnknown:
       break;
@@ -439,6 +519,46 @@ void analyze_bench(std::ostringstream& os, const util::JsonValue& doc) {
   }
 }
 
+void analyze_bench_service(std::ostringstream& os,
+                           const util::JsonValue& doc) {
+  if (const util::JsonValue* totals = doc.find("totals")) {
+    os << util::strf(
+        "service soak: %.0f job(s), %.0f failure(s), %.0f scenario(s), "
+        "%.0f/%.0f verified bit-identical\n",
+        totals->get_number_or("jobs", 0.0),
+        totals->get_number_or("failures", 0.0),
+        totals->get_number_or("scenarios", 0.0),
+        totals->get_number_or("bit_identical", 0.0),
+        totals->get_number_or("verified", 0.0));
+  }
+  if (const util::JsonValue* sched = doc.find("schedule")) {
+    os << util::strf(
+        "schedule: %.0f batch(es), max wait %.0f pop(s) "
+        "(fairness bound %.0f), %.2f s wall, %.1f job/s\n",
+        sched->get_number_or("batches", 0.0),
+        sched->get_number_or("max_wait_pops", 0.0),
+        sched->get_number_or("fairness_bound", 0.0),
+        sched->get_number_or("wall_seconds", 0.0),
+        sched->get_number_or("jobs_per_s", 0.0));
+  }
+  const util::JsonValue* tenants = doc.find("tenants");
+  if (tenants != nullptr && tenants->is_array() &&
+      !tenants->as_array().empty()) {
+    os << "\ntenants:\n";
+    util::Table table({"tenant", "jobs", "failures", "iterations",
+                       "sim s", "max wait"});
+    for (const util::JsonValue& t : tenants->as_array()) {
+      table.row({t.get_string_or("tenant", "?"),
+                 util::strf("%.0f", t.get_number_or("jobs", 0.0)),
+                 util::strf("%.0f", t.get_number_or("failures", 0.0)),
+                 util::strf("%.0f", t.get_number_or("iterations", 0.0)),
+                 util::strf("%.4f", t.get_number_or("sim_seconds", 0.0)),
+                 util::strf("%.0f", t.get_number_or("max_wait_pops", 0.0))});
+    }
+    os << table.render();
+  }
+}
+
 }  // namespace
 
 std::string analyze(const util::JsonValue& doc, const AnalyzeOptions& opt) {
@@ -450,6 +570,9 @@ std::string analyze(const util::JsonValue& doc, const AnalyzeOptions& opt) {
     case ArtifactKind::kBenchFusion:
     case ArtifactKind::kBenchOverlap:
       analyze_bench(os, doc);
+      break;
+    case ArtifactKind::kBenchService:
+      analyze_bench_service(os, doc);
       break;
     case ArtifactKind::kUnknown:
       os << "unknown artifact (no tl-report-1 schema or bench tag)\n";

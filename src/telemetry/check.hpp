@@ -2,7 +2,8 @@
 // Report analysis and regression checking — the logic behind tl_report.
 //
 // Works over parsed JSON documents so one code path handles every committed
-// artifact: tl-report-1 run reports, BENCH_fusion.json, BENCH_overlap.json.
+// artifact: tl-report-1 run reports, BENCH_fusion.json, BENCH_overlap.json,
+// BENCH_service.json.
 // The regression policy is deliberately asymmetric: time-like metrics fail
 // only when the fresh value is *slower* than baseline by more than the
 // relative tolerance (improvements never fail, they are reported as such);
@@ -21,6 +22,7 @@ enum class ArtifactKind {
   kRunReport,     // "schema": "tl-report-1"
   kBenchFusion,   // "bench": "fusion"
   kBenchOverlap,  // "bench": "fig13_overlap"
+  kBenchService,  // "bench": "service"
   kUnknown,
 };
 

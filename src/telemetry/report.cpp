@@ -24,7 +24,16 @@ std::string jnum(double v) {
 }
 
 std::string jstr(std::string_view s) {
-  return "\"" + util::json_escape(s) + "\"";
+  // Built by append rather than operator+ chaining: GCC 12's -Wrestrict
+  // emits a false positive on the char* + string + char* concatenation
+  // once inlined into the larger to_json body at -O3.
+  std::string out;
+  std::string escaped = util::json_escape(s);
+  out.reserve(escaped.size() + 2);
+  out += '"';
+  out += escaped;
+  out += '"';
+  return out;
 }
 
 const char* jbool(bool b) { return b ? "true" : "false"; }
@@ -72,6 +81,10 @@ void ReportBuilder::set_totals(double sim_seconds, double achieved_gbs,
 void ReportBuilder::add_rank(const dist::RankReport& rank) {
   ranks_.push_back(rank);
   collect_comm(registry_, rank.rank, rank.comm);
+}
+
+void ReportBuilder::add_tenant(TenantRow row) {
+  tenants_.push_back(std::move(row));
 }
 
 void ReportBuilder::add_profiles(
@@ -159,6 +172,23 @@ std::string ReportBuilder::to_json() const {
        << jnum(wire > 0.0 ? hidden / wire : 0.0) << "}";
   }
   os << (ranks_.empty() ? "],\n" : "\n  ],\n");
+
+  if (!tenants_.empty()) {
+    os << "  \"tenants\": [";
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      const TenantRow& t = tenants_[i];
+      os << (i ? ",\n    " : "\n    ");
+      os << "{\"tenant\": " << jstr(t.tenant) << ", \"jobs\": " << t.jobs
+         << ", \"failures\": " << t.failures
+         << ", \"converged\": " << t.converged
+         << ", \"iterations\": " << t.iterations
+         << ", \"kernel_launches\": " << t.kernel_launches
+         << ", \"comm_bytes\": " << t.comm_bytes
+         << ", \"sim_seconds\": " << jnum(t.sim_seconds)
+         << ", \"max_wait_pops\": " << t.max_wait_pops << "}";
+    }
+    os << "\n  ],\n";
+  }
 
   os << "  \"metrics\": {\n    \"counters\": {";
   bool first = true;

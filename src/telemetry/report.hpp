@@ -50,6 +50,21 @@ struct SolveRow {
   double sim_seconds = 0.0;
 };
 
+/// One tenant's rollup in a service-emitted report (tl_service). Rendered
+/// as the "tenants" section only when at least one row was added, so
+/// classic single-run reports stay byte-identical.
+struct TenantRow {
+  std::string tenant;
+  std::uint64_t jobs = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t converged = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t comm_bytes = 0;
+  double sim_seconds = 0.0;
+  std::uint64_t max_wait_pops = 0;
+};
+
 class ReportBuilder {
  public:
   explicit ReportBuilder(ReportContext context);
@@ -70,6 +85,10 @@ class ReportBuilder {
 
   /// Per-rank row plus the rank-labelled comm counters (collect_comm).
   void add_rank(const dist::RankReport& rank);
+
+  /// Per-tenant rollup row (service runs). The "tenants" section is only
+  /// emitted when at least one row was added.
+  void add_tenant(TenantRow row);
 
   /// Kernel profile table; each kernel priced against the context device's
   /// STREAM bandwidth (peak_ratio = achieved / priced peak).
@@ -94,6 +113,7 @@ class ReportBuilder {
   std::vector<SolveRow> solves_;
   std::vector<util::KernelProfile> kernels_;
   std::vector<dist::RankReport> ranks_;
+  std::vector<TenantRow> tenants_;
   double total_sim_seconds_ = 0.0;
   double achieved_gbs_ = 0.0;
   std::uint64_t kernel_launches_ = 0;
