@@ -67,6 +67,26 @@ run_leg() { # run_leg <preset> <cc> <cxx>
     --check "bench-smoke-${preset}-${cc}/BENCH_service.json" \
     --baseline=BENCH_service.json --rel-tol=3.0
 
+  note "elastic gates: bench_elastic --smoke (${preset} / ${cc})"
+  # Weighted heterogeneous split beats equal, seeded lossy schedules survive
+  # bit-identically, kill-and-resume transitions are bit-identical; the
+  # artifact is fully deterministic (simulated clock) and checked exactly.
+  (cd "bench-smoke-${preset}-${cc}" && "../$build_dir/bench/bench_elastic" --smoke >/dev/null)
+  "./$build_dir/tools/tl_report" \
+    --check "bench-smoke-${preset}-${cc}/BENCH_elastic.json" \
+    --baseline=BENCH_elastic.json
+
+  note "comm corruption detection: tl_verify --perturb (${preset} / ${cc})"
+  # The detector's negative control: a run with in-flight comm corruption
+  # must FAIL conformance. A passing perturbed run fails this leg.
+  for target in halo_payload allreduce; do
+    if "./$build_dir/tools/tl_verify" --ranks 2 --nx 32 \
+        --perturb "$target" >/dev/null; then
+      echo "perturbed $target run passed conformance — detector broken" >&2
+      exit 1
+    fi
+  done
+
   note "run-report regression gate: tl_report --check (${preset} / ${cc})"
   # The canonical deterministic run report, regenerated and checked against
   # the committed baseline (exact counts, 10% slower-only time tolerance).
@@ -84,7 +104,7 @@ run_tsan() { # run_tsan <cc> <cxx>
   note "leg: tsan / ${cc} (threading suites)"
   CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist tests_regions tests_telemetry tests_service
+    --target tests_models tests_fusion tests_ports tests_verify tests_comm tests_dist tests_regions tests_telemetry tests_service tests_elastic
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_fusion"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_ports"
@@ -94,18 +114,21 @@ run_tsan() { # run_tsan <cc> <cxx>
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_regions"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_telemetry"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_service"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_elastic"
 }
 
 run_soak() { # run_soak <cc> <cxx>
   local cc=$1 cxx=$2
   local build_dir="build-release-${cc}"
-  note "leg: service soak / ${cc} (10k jobs)"
+  note "leg: service soak / ${cc} (10k jobs + full elastic fault soak)"
   CC=$cc CXX=$cxx cmake --preset release -B "$build_dir" >/dev/null
-  cmake --build "$build_dir" -j "$(nproc)" --target bench_service
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_service bench_elastic
   mkdir -p "bench-smoke-release-${cc}"
   (cd "bench-smoke-release-${cc}" && \
     "../$build_dir/bench/bench_service" --min-throughput 50 \
       --report=BENCH_service_full.json)
+  (cd "bench-smoke-release-${cc}" && \
+    "../$build_dir/bench/bench_elastic" --report=BENCH_elastic_full.json)
 }
 
 # Child mode: execute exactly one leg under this file's `set -e`, so a

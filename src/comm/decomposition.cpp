@@ -1,6 +1,9 @@
 #include "comm/decomposition.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <tuple>
 
@@ -27,18 +30,50 @@ std::pair<int, int> BlockDecomposition::best_grid(int nx, int ny, int nranks) {
   return best;
 }
 
-BlockDecomposition::BlockDecomposition(int global_nx, int global_ny, int nranks)
-    : global_nx_(global_nx), global_ny_(global_ny) {
-  if (global_nx <= 0 || global_ny <= 0) {
-    throw std::invalid_argument("BlockDecomposition: mesh must be positive");
+std::vector<int> BlockDecomposition::apportion_rows(
+    int rows, const std::vector<double>& weights) {
+  const int parts = static_cast<int>(weights.size());
+  if (rows < parts) {
+    throw std::invalid_argument(
+        "BlockDecomposition: row-strip layout needs at least one row per rank");
   }
-  if (nranks <= 0) {
-    throw std::invalid_argument("BlockDecomposition: nranks must be positive");
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "BlockDecomposition: weights must be positive and finite");
+    }
+    total += w;
   }
-  const auto [gx, gy] = best_grid(global_nx, global_ny, nranks);
-  grid_x_ = gx;
-  grid_y_ = gy;
 
+  // Largest-remainder apportionment with a one-row floor. Quotas are scaled
+  // over the rows left after the floor so the floor never over-allocates.
+  const int spare = rows - parts;
+  std::vector<int> counts(static_cast<std::size_t>(parts), 1);
+  std::vector<double> remainder(static_cast<std::size_t>(parts), 0.0);
+  int assigned = 0;
+  for (int i = 0; i < parts; ++i) {
+    const double quota = static_cast<double>(spare) * weights[static_cast<std::size_t>(i)] / total;
+    const int extra = static_cast<int>(std::floor(quota));
+    counts[static_cast<std::size_t>(i)] += extra;
+    remainder[static_cast<std::size_t>(i)] = quota - extra;
+    assigned += extra;
+  }
+  // Hand the leftover rows to the largest fractional remainders; ties break
+  // to the lower rank so the split is fully deterministic.
+  std::vector<int> order(static_cast<std::size_t>(parts));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return remainder[static_cast<std::size_t>(a)] >
+           remainder[static_cast<std::size_t>(b)];
+  });
+  for (int k = 0; k < spare - assigned; ++k) {
+    ++counts[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])];
+  }
+  return counts;
+}
+
+void BlockDecomposition::build(int nranks, const std::vector<int>* row_counts) {
   // Even split; the first `rem` tiles in each dimension get one extra cell.
   auto split = [](int cells, int parts, int index) {
     const int base = cells / parts;
@@ -48,6 +83,15 @@ BlockDecomposition::BlockDecomposition(int global_nx, int global_ny, int nranks)
     return std::pair<int, int>{begin, begin + extent};
   };
 
+  // Weighted row strips use prefix sums of the apportioned counts instead.
+  std::vector<int> y_offsets;
+  if (row_counts != nullptr) {
+    y_offsets.resize(row_counts->size() + 1, 0);
+    for (std::size_t i = 0; i < row_counts->size(); ++i) {
+      y_offsets[i + 1] = y_offsets[i] + (*row_counts)[i];
+    }
+  }
+
   tiles_.resize(static_cast<std::size_t>(nranks));
   for (int py = 0; py < grid_y_; ++py) {
     for (int px = 0; px < grid_x_; ++px) {
@@ -56,8 +100,13 @@ BlockDecomposition::BlockDecomposition(int global_nx, int global_ny, int nranks)
       t.rank = rank;
       t.px = px;
       t.py = py;
-      std::tie(t.x_begin, t.x_end) = split(global_nx, grid_x_, px);
-      std::tie(t.y_begin, t.y_end) = split(global_ny, grid_y_, py);
+      std::tie(t.x_begin, t.x_end) = split(global_nx_, grid_x_, px);
+      if (row_counts != nullptr) {
+        t.y_begin = y_offsets[static_cast<std::size_t>(py)];
+        t.y_end = y_offsets[static_cast<std::size_t>(py) + 1];
+      } else {
+        std::tie(t.y_begin, t.y_end) = split(global_ny_, grid_y_, py);
+      }
       t.neighbour[static_cast<std::size_t>(Face::kLeft)] =
           (px > 0) ? rank - 1 : -1;
       t.neighbour[static_cast<std::size_t>(Face::kRight)] =
@@ -67,6 +116,47 @@ BlockDecomposition::BlockDecomposition(int global_nx, int global_ny, int nranks)
       t.neighbour[static_cast<std::size_t>(Face::kTop)] =
           (py + 1 < grid_y_) ? rank + grid_x_ : -1;
     }
+  }
+}
+
+BlockDecomposition::BlockDecomposition(int global_nx, int global_ny, int nranks)
+    : BlockDecomposition(global_nx, global_ny, nranks, DecompOptions{}) {}
+
+BlockDecomposition::BlockDecomposition(int global_nx, int global_ny, int nranks,
+                                       const DecompOptions& options)
+    : global_nx_(global_nx), global_ny_(global_ny) {
+  if (global_nx <= 0 || global_ny <= 0) {
+    throw std::invalid_argument("BlockDecomposition: mesh must be positive");
+  }
+  if (nranks <= 0) {
+    throw std::invalid_argument("BlockDecomposition: nranks must be positive");
+  }
+  if (!options.weights.empty() &&
+      static_cast<int>(options.weights.size()) != nranks) {
+    throw std::invalid_argument(
+        "BlockDecomposition: weights must have one entry per rank");
+  }
+
+  const bool rows = options.layout == DecompOptions::Layout::kRows ||
+                    !options.weights.empty();
+  if (rows) {
+    if (nranks > global_ny) {
+      throw std::invalid_argument(
+          "BlockDecomposition: row-strip layout needs at least one row per rank");
+    }
+    grid_x_ = 1;
+    grid_y_ = nranks;
+    if (!options.weights.empty()) {
+      const std::vector<int> counts = apportion_rows(global_ny, options.weights);
+      build(nranks, &counts);
+    } else {
+      build(nranks, nullptr);
+    }
+  } else {
+    const auto [gx, gy] = best_grid(global_nx, global_ny, nranks);
+    grid_x_ = gx;
+    grid_y_ = gy;
+    build(nranks, nullptr);
   }
 }
 

@@ -3,6 +3,12 @@
 // chunking: choose the process grid px*py == nranks that minimises the
 // communication surface, then split cells as evenly as possible (earlier
 // rows/columns take the remainder).
+//
+// The elastic/heterogeneous extension adds a row-strip layout whose per-rank
+// row counts follow caller-supplied weights (largest-remainder apportionment
+// over the global row count). Row strips are what the elastic reduction path
+// requires — every rank owns whole rows — and weighting lets a mixed
+// cpu+gpu world give the fast devices proportionally more rows.
 
 #include <array>
 #include <vector>
@@ -29,23 +35,50 @@ struct Tile {
   bool has_neighbour(Face f) const noexcept { return neighbour_of(f) >= 0; }
 };
 
+/// Layout/weighting knobs for the decomposition.
+struct DecompOptions {
+  enum class Layout {
+    kAuto,  // surface-minimising px*py grid (the classic default)
+    kRows,  // 1 x nranks row strips (whole rows per rank)
+  };
+  Layout layout = Layout::kAuto;
+  /// Per-rank load weights (relative device rates). Empty = equal split.
+  /// Non-empty implies the row-strip layout and must have nranks entries,
+  /// all positive. Row counts follow largest-remainder apportionment with a
+  /// floor of one row per rank.
+  std::vector<double> weights;
+};
+
 class BlockDecomposition {
  public:
   /// Throws std::invalid_argument for non-positive sizes/ranks or when there
   /// are more ranks than cells.
   BlockDecomposition(int global_nx, int global_ny, int nranks);
 
+  /// Layout- and weight-aware variant. Row-strip layouts additionally throw
+  /// when nranks > global_ny (every rank must own at least one whole row).
+  BlockDecomposition(int global_nx, int global_ny, int nranks,
+                     const DecompOptions& options);
+
   int nranks() const noexcept { return static_cast<int>(tiles_.size()); }
   int grid_x() const noexcept { return grid_x_; }
   int grid_y() const noexcept { return grid_y_; }
   int global_nx() const noexcept { return global_nx_; }
   int global_ny() const noexcept { return global_ny_; }
+  /// True when every rank owns whole rows (grid_x == 1), the precondition
+  /// for the elastic per-row reduction path.
+  bool row_strips() const noexcept { return grid_x_ == 1; }
 
   const Tile& tile(int rank) const { return tiles_.at(static_cast<std::size_t>(rank)); }
   const std::vector<Tile>& tiles() const noexcept { return tiles_; }
 
  private:
   static std::pair<int, int> best_grid(int nx, int ny, int nranks);
+  /// Largest-remainder split of `rows` over `weights` (size nranks, all
+  /// positive), each part at least one row. Returns per-rank row counts.
+  static std::vector<int> apportion_rows(int rows,
+                                         const std::vector<double>& weights);
+  void build(int nranks, const std::vector<int>* row_counts);
 
   int global_nx_, global_ny_;
   int grid_x_ = 1, grid_y_ = 1;

@@ -1,0 +1,207 @@
+#include "comm/fault.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/string_util.hpp"
+
+namespace tl::comm {
+
+namespace {
+
+/// splitmix64 finaliser — the schedule hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double FaultyComm::uniform(int dest, int tag, int attempt, int salt) const {
+  std::uint64_t h = spec_.seed;
+  h = mix64(h ^ (static_cast<std::uint64_t>(spec_.epoch) << 48));
+  h = mix64(h ^ (static_cast<std::uint64_t>(comm_.rank()) << 32) ^
+            static_cast<std::uint64_t>(dest));
+  h = mix64(h ^ (static_cast<std::uint64_t>(tag) << 16) ^
+            (static_cast<std::uint64_t>(attempt) << 8) ^
+            static_cast<std::uint64_t>(salt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultyComm::faulty_send(const WireOut& out, int attempt,
+                             std::uint64_t poll) {
+  ++stats_.data_sends;
+  const bool hard_fail = spec_.epoch == 0 &&
+                         comm_.rank() == spec_.hard_fail_rank &&
+                         step_ == spec_.hard_fail_step;
+  if (hard_fail || uniform(out.dest, out.tag, attempt, 0) < spec_.drop) {
+    ++stats_.dropped;
+    return;
+  }
+  if (uniform(out.dest, out.tag, attempt, 1) < spec_.delay) {
+    ++stats_.delayed;
+    Delayed d;
+    d.due_poll = poll + static_cast<std::uint64_t>(
+                            std::max(1, spec_.resend_polls / 2));
+    d.dest = out.dest;
+    d.tag = out.tag;
+    d.payload.assign(out.data.begin(), out.data.end());
+    delayed_.push_back(std::move(d));
+    return;
+  }
+  comm_.send(out.data, out.dest, out.tag);
+  if (uniform(out.dest, out.tag, attempt, 2) < spec_.duplicate) {
+    ++stats_.duplicated;
+    comm_.send(out.data, out.dest, out.tag);
+  }
+}
+
+bool FaultyComm::flush_due(std::uint64_t poll) {
+  bool any = false;
+  for (std::size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].due_poll <= poll) {
+      comm_.send(delayed_[i].payload, delayed_[i].dest, delayed_[i].tag);
+      delayed_[i] = std::move(delayed_.back());
+      delayed_.pop_back();
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+void FaultyComm::exchange(std::span<const WireOut> outs,
+                          std::span<const WireIn> ins) {
+  struct OutState {
+    int attempt = 1;
+    std::uint64_t next_resend = 0;
+    bool acked = false;
+  };
+  std::vector<OutState> ostate(outs.size());
+  std::vector<char> got(ins.size(), 0);
+  delayed_.clear();
+
+  std::size_t scratch_len = 0;
+  for (const WireIn& in : ins) scratch_len = std::max(scratch_len, in.data.size());
+  std::vector<double> dup_scratch(scratch_len);
+  const double ack_payload = 1.0;
+  double ack_buf = 0.0;
+
+  std::uint64_t poll = 0;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    faulty_send(outs[i], 1, poll);
+    ostate[i].next_resend = static_cast<std::uint64_t>(spec_.resend_polls);
+  }
+
+  std::size_t remaining = outs.size() + ins.size();
+  while (remaining > 0) {
+    bool progress = flush_due(poll);
+
+    for (std::size_t j = 0; j < ins.size(); ++j) {
+      const WireIn& in = ins[j];
+      if (got[j] == 0) {
+        if (comm_.try_recv(in.data, in.source, in.tag)) {
+          got[j] = 1;
+          --remaining;
+          progress = true;
+          ++stats_.acks_sent;
+          comm_.send(std::span<const double>(&ack_payload, 1), in.source,
+                     in.tag + kAckTagOffset);
+        }
+      } else {
+        // Absorb duplicate arrivals, re-ACKing each in case the sender
+        // retransmitted before our first ACK landed.
+        std::span<double> scratch(dup_scratch.data(), in.data.size());
+        while (comm_.try_recv(scratch, in.source, in.tag)) {
+          progress = true;
+          ++stats_.acks_sent;
+          comm_.send(std::span<const double>(&ack_payload, 1), in.source,
+                     in.tag + kAckTagOffset);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (ostate[i].acked) continue;
+      if (comm_.try_recv(std::span<double>(&ack_buf, 1), outs[i].dest,
+                         outs[i].tag + kAckTagOffset)) {
+        ostate[i].acked = true;
+        --remaining;
+        progress = true;
+        continue;
+      }
+      if (poll >= ostate[i].next_resend) {
+        if (ostate[i].attempt >= spec_.max_attempts) {
+          throw CommRetryExhausted(util::strf(
+              "reliable exchange: rank %d -> %d tag %d unacked after %d "
+              "attempt(s) (seed %llu, epoch %d)",
+              comm_.rank(), outs[i].dest, outs[i].tag, ostate[i].attempt,
+              static_cast<unsigned long long>(spec_.seed), spec_.epoch));
+        }
+        ++ostate[i].attempt;
+        ++stats_.retries;
+        faulty_send(outs[i], ostate[i].attempt, poll);
+        const int shift = std::min(ostate[i].attempt - 1, 6);
+        ostate[i].next_resend =
+            poll + (static_cast<std::uint64_t>(spec_.resend_polls) << shift);
+      }
+    }
+
+    ++poll;
+    if (poll > static_cast<std::uint64_t>(spec_.poll_limit)) {
+      std::size_t outs_left = 0, ins_left = 0;
+      for (const OutState& s : ostate) outs_left += s.acked ? 0 : 1;
+      for (char g : got) ins_left += g ? 0 : 1;
+      throw ReliableTimeout(util::strf(
+          "reliable exchange: rank %d poll budget %d exhausted with %zu "
+          "send(s) unacked and %zu recv(s) missing (seed %llu, epoch %d) — "
+          "peer dead or schedule unsurvivable",
+          comm_.rank(), spec_.poll_limit, outs_left, ins_left,
+          static_cast<unsigned long long>(spec_.seed), spec_.epoch));
+    }
+    if (!progress) std::this_thread::yield();
+  }
+}
+
+void reliable_allreduce_sum(FaultyComm& fc, std::span<double> values,
+                            int gather_tag, int bcast_tag) {
+  Communicator& comm = fc.comm();
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (size == 1) return;
+  const std::size_t n = values.size();
+
+  if (rank == 0) {
+    std::vector<double> incoming(static_cast<std::size_t>(size - 1) * n);
+    std::vector<WireIn> ins;
+    ins.reserve(static_cast<std::size_t>(size - 1));
+    for (int r = 1; r < size; ++r) {
+      ins.push_back({r, gather_tag,
+                     std::span<double>(incoming.data() +
+                                           static_cast<std::size_t>(r - 1) * n,
+                                       n)});
+    }
+    fc.exchange({}, ins);
+    // Rank-order combine: bit-identical to MiniComm's sequential reduce.
+    for (int r = 1; r < size; ++r) {
+      const double* block = incoming.data() + static_cast<std::size_t>(r - 1) * n;
+      for (std::size_t k = 0; k < n; ++k) values[k] += block[k];
+    }
+    std::vector<WireOut> outs;
+    outs.reserve(static_cast<std::size_t>(size - 1));
+    for (int r = 1; r < size; ++r) {
+      outs.push_back({r, bcast_tag, std::span<const double>(values)});
+    }
+    fc.exchange(outs, {});
+  } else {
+    const WireOut contribute{0, gather_tag, std::span<const double>(values)};
+    fc.exchange(std::span<const WireOut>(&contribute, 1), {});
+    const WireIn result{0, bcast_tag, values};
+    fc.exchange({}, std::span<const WireIn>(&result, 1));
+  }
+}
+
+}  // namespace tl::comm

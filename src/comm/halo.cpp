@@ -203,6 +203,58 @@ constexpr Direction kDirections[4] = {
 };
 }  // namespace
 
+void HaloExchanger::exchange_reliable(FaultyComm& fc, Span2D<double> field,
+                                      int depth, int tag) {
+  if (depth <= 0 || depth > halo_depth_) {
+    throw std::invalid_argument("HaloExchanger: bad exchange depth");
+  }
+  check_tag_range(tag);
+  const std::size_t x_count = static_cast<std::size_t>(depth) *
+                              static_cast<std::size_t>(tile_.ny());
+  const std::size_t y_count = static_cast<std::size_t>(depth) *
+                              static_cast<std::size_t>(field.nx());
+
+  // One reliable exchange per phase: both directions' payloads in flight at
+  // once (send/recv completion is handled by the poll loop, so concurrent
+  // directions cannot deadlock), then the same unpack order as exchange().
+  auto phase = [&](int first_dir) {
+    std::array<std::vector<double>, 2> sbuf, rbuf;
+    std::vector<WireOut> outs;
+    std::vector<WireIn> ins;
+    for (int k = 0; k < 2; ++k) {
+      const Direction& d = kDirections[first_dir + k];
+      const std::size_t count =
+          d.subtag < 2 ? x_count : y_count;
+      const int dest = tile_.neighbour_of(d.send_face);
+      const int source = tile_.neighbour_of(d.recv_face);
+      if (dest >= 0) {
+        auto& buf = sbuf[static_cast<std::size_t>(k)];
+        buf.resize(count);
+        pack(field, d.send_face, depth, buf);
+        outs.push_back({dest, tag * 8 + d.subtag,
+                        std::span<const double>(buf.data(), count)});
+      }
+      if (source >= 0) {
+        auto& buf = rbuf[static_cast<std::size_t>(k)];
+        buf.resize(count);
+        ins.push_back({source, tag * 8 + d.subtag, std::span<double>(buf)});
+      }
+    }
+    fc.exchange(outs, ins);
+    for (int k = 0; k < 2; ++k) {
+      const Direction& d = kDirections[first_dir + k];
+      if (tile_.neighbour_of(d.recv_face) >= 0) {
+        unpack(field, d.recv_face, depth, rbuf[static_cast<std::size_t>(k)]);
+      }
+    }
+  };
+
+  phase(0);
+  reflect_x_if_physical(field);
+  phase(2);
+  reflect_y_if_physical(field);
+}
+
 void HaloExchanger::post(Communicator& comm, Span2D<const double> field,
                          int tag) {
   if (pending_) {

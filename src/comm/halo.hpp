@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "comm/decomposition.hpp"
+#include "comm/fault.hpp"
 #include "comm/minimpi.hpp"
 #include "util/span2d.hpp"
 
@@ -38,6 +39,15 @@ class HaloExchanger {
   /// rank owning a neighbouring tile must call exchange with the same tag.
   void exchange(Communicator& comm, tl::util::Span2D<double> field, int depth,
                 int tag);
+
+  /// Fault-tolerant twin of exchange(): identical receiver-side structure
+  /// (x faces, reflect-x, y faces, reflect-y — the corner relay), but each
+  /// phase runs as one reliable ack/retry exchange under `fc`'s fault
+  /// schedule. Numerically bit-identical to exchange(); only delivery is
+  /// adversarial. Throws a CommFaultError subclass when the schedule is
+  /// unsurvivable.
+  void exchange_reliable(FaultyComm& fc, tl::util::Span2D<double> field,
+                         int depth, int tag);
 
   /// Nonblocking half of the overlapped pipeline: packs all four faces,
   /// posts buffered sends and nonblocking receives, and returns without

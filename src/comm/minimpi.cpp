@@ -129,6 +129,10 @@ void Communicator::recv(std::span<double> data, int source, int tag) {
   world_->recv_impl(rank_, source, tag, data);
 }
 
+bool Communicator::try_recv(std::span<double> data, int source, int tag) {
+  return world_->try_recv_impl(rank_, source, tag, data);
+}
+
 CommRequest Communicator::isend(std::span<const double> data, int dest,
                                 int tag) {
   // Sends are buffered and never block, so the "nonblocking" send is

@@ -93,6 +93,11 @@ class Communicator {
   CommRequest isend(std::span<const double> data, int dest, int tag);
   CommRequest irecv(std::span<double> data, int source, int tag);
 
+  /// Nonblocking probe-and-receive: delivers and returns true iff a
+  /// matching (source, tag) message is already queued; never waits. The
+  /// fault-tolerant retry protocol's poll loop is built on this.
+  bool try_recv(std::span<double> data, int source, int tag);
+
   /// Completes every request in `reqs` (blocking). Safe to call again on
   /// the same span: already-complete requests are skipped.
   static void wait_all(std::span<CommRequest> reqs);

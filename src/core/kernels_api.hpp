@@ -11,6 +11,7 @@
 // storage. Scalars returned by reductions are host values.
 
 #include <memory>
+#include <span>
 
 #include "core/fields.hpp"
 #include "core/settings.hpp"
@@ -214,6 +215,24 @@ class SolverKernels {
   /// captures the field view at post time).
   virtual void jacobi_fused_region(Region region);
   virtual void jacobi_fused_region_finish();
+
+  // -- Elastic per-row reductions (optional) ---------------------------------
+  // The elastic distributed mode (Settings::elastic) needs reductions whose
+  // result is independent of how rows are split across ranks. A port that
+  // supports it computes every reduction as one partial per interior ROW
+  // (k consecutive blocks of ny slots for k-value reductions, exposed via
+  // row_partials() after the kernel runs); the distributed layer gathers all
+  // global rows and folds one fixed pairwise tree over them, so any
+  // row-strip decomposition — equal or weighted — produces bit-identical
+  // scalars. Defaults: unsupported (set_row_reductions(true) returns false).
+
+  /// Switches per-row reduction mode. Returns true iff the request is
+  /// honoured (enabling on an unsupporting port returns false).
+  virtual bool set_row_reductions(bool on) { return !on; }
+
+  /// The per-row partials of the last reduction kernel, valid until the
+  /// next kernel call. Empty when row mode is off or unsupported.
+  virtual std::span<const double> row_partials() const { return {}; }
 
   // -- Results / instrumentation -------------------------------------------
   /// Copies the current solution u into `out` (padded layout). For offload

@@ -225,6 +225,20 @@ void jacobi_iterate(const Mesh& m, CSpan u0, CSpan w, CSpan kx, CSpan ky,
 
 }  // namespace ref
 
+namespace {
+
+/// In-place pairwise tree fold over `n` row partials.
+double pairwise_sum(double* p, std::int64_t n) {
+  for (std::int64_t width = 1; width < n; width *= 2) {
+    for (std::int64_t i = 0; i + width < n; i += 2 * width) {
+      p[i] += p[i + width];
+    }
+  }
+  return n > 0 ? p[0] : 0.0;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ReferenceKernels
 // ---------------------------------------------------------------------------
@@ -275,10 +289,17 @@ void ReferenceKernels::calc_residual() {
 }
 
 double ReferenceKernels::calc_2norm(NormTarget target) {
-  return ref::calc_2norm(mesh_,
-                         chunk_.field(target == NormTarget::kResidual
-                                          ? FieldId::kR
-                                          : FieldId::kU0));
+  const auto v = chunk_.field(
+      target == NormTarget::kResidual ? FieldId::kR : FieldId::kU0);
+  if (!row_mode_) return ref::calc_2norm(mesh_, v);
+  const int h = mesh_.halo_depth;
+  row_partials_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  for (int y = h; y < h + mesh_.ny; ++y) {
+    double s = 0.0;
+    for (int x = h; x < h + mesh_.nx; ++x) s += v(x, y) * v(x, y);
+    row_partials_[static_cast<std::size_t>(y - h)] = s;
+  }
+  return fold_rows(1);
 }
 
 void ReferenceKernels::finalise() {
@@ -288,28 +309,119 @@ void ReferenceKernels::finalise() {
 }
 
 FieldSummary ReferenceKernels::field_summary() {
-  return ref::field_summary(mesh_, chunk_.field(FieldId::kDensity),
-                            chunk_.field(FieldId::kEnergy0),
-                            chunk_.field(FieldId::kU));
+  if (!row_mode_) {
+    return ref::field_summary(mesh_, chunk_.field(FieldId::kDensity),
+                              chunk_.field(FieldId::kEnergy0),
+                              chunk_.field(FieldId::kU));
+  }
+  const auto density = chunk_.field(FieldId::kDensity);
+  const auto energy0 = chunk_.field(FieldId::kEnergy0);
+  const auto u = chunk_.field(FieldId::kU);
+  const int h = mesh_.halo_depth;
+  const int ny = mesh_.ny;
+  const double cell_vol = mesh_.cell_area();
+  row_partials_.assign(static_cast<std::size_t>(ny) * 4, 0.0);
+  for (int y = h; y < h + ny; ++y) {
+    double vol = 0.0, mass = 0.0, ie = 0.0, temp = 0.0;
+    for (int x = h; x < h + mesh_.nx; ++x) {
+      vol += cell_vol;
+      mass += density(x, y) * cell_vol;
+      ie += density(x, y) * energy0(x, y) * cell_vol;
+      temp += u(x, y) * cell_vol;
+    }
+    const std::size_t slot = static_cast<std::size_t>(y - h);
+    row_partials_[slot] = vol;
+    row_partials_[static_cast<std::size_t>(ny) + slot] = mass;
+    row_partials_[static_cast<std::size_t>(ny) * 2 + slot] = ie;
+    row_partials_[static_cast<std::size_t>(ny) * 3 + slot] = temp;
+  }
+  FieldSummary s;
+  s.volume = fold_rows(4, 0);
+  s.mass = fold_rows(4, 1);
+  s.internal_energy = fold_rows(4, 2);
+  s.temperature = fold_rows(4, 3);
+  return s;
 }
 
 double ReferenceKernels::cg_init() {
-  return ref::cg_init(mesh_, chunk_.field(FieldId::kU),
-                      chunk_.field(FieldId::kU0), chunk_.field(FieldId::kKx),
-                      chunk_.field(FieldId::kKy), chunk_.field(FieldId::kW),
-                      chunk_.field(FieldId::kR), chunk_.field(FieldId::kP));
+  if (!row_mode_) {
+    return ref::cg_init(mesh_, chunk_.field(FieldId::kU),
+                        chunk_.field(FieldId::kU0), chunk_.field(FieldId::kKx),
+                        chunk_.field(FieldId::kKy), chunk_.field(FieldId::kW),
+                        chunk_.field(FieldId::kR), chunk_.field(FieldId::kP));
+  }
+  const auto u = chunk_.field(FieldId::kU);
+  const auto u0 = chunk_.field(FieldId::kU0);
+  const auto kx = chunk_.field(FieldId::kKx);
+  const auto ky = chunk_.field(FieldId::kKy);
+  auto w = chunk_.field(FieldId::kW);
+  auto r = chunk_.field(FieldId::kR);
+  auto p = chunk_.field(FieldId::kP);
+  const int h = mesh_.halo_depth;
+  row_partials_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  for (int y = h; y < h + mesh_.ny; ++y) {
+    double rro = 0.0;
+    for (int x = h; x < h + mesh_.nx; ++x) {
+      const double au = ref::apply_stencil(u, kx, ky, x, y);
+      w(x, y) = au;
+      const double res = u0(x, y) - au;
+      r(x, y) = res;
+      p(x, y) = res;
+      rro += res * res;
+    }
+    row_partials_[static_cast<std::size_t>(y - h)] = rro;
+  }
+  return fold_rows(1);
 }
 
 double ReferenceKernels::cg_calc_w() {
-  return ref::cg_calc_w(mesh_, chunk_.field(FieldId::kP),
-                        chunk_.field(FieldId::kKx), chunk_.field(FieldId::kKy),
-                        chunk_.field(FieldId::kW));
+  if (!row_mode_) {
+    return ref::cg_calc_w(mesh_, chunk_.field(FieldId::kP),
+                          chunk_.field(FieldId::kKx),
+                          chunk_.field(FieldId::kKy),
+                          chunk_.field(FieldId::kW));
+  }
+  const auto p = chunk_.field(FieldId::kP);
+  const auto kx = chunk_.field(FieldId::kKx);
+  const auto ky = chunk_.field(FieldId::kKy);
+  auto w = chunk_.field(FieldId::kW);
+  const int h = mesh_.halo_depth;
+  row_partials_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  for (int y = h; y < h + mesh_.ny; ++y) {
+    double pw = 0.0;
+    for (int x = h; x < h + mesh_.nx; ++x) {
+      const double ap = ref::apply_stencil(p, kx, ky, x, y);
+      w(x, y) = ap;
+      pw += ap * p(x, y);
+    }
+    row_partials_[static_cast<std::size_t>(y - h)] = pw;
+  }
+  return fold_rows(1);
 }
 
 double ReferenceKernels::cg_calc_ur(double alpha) {
-  return ref::cg_calc_ur(mesh_, alpha, chunk_.field(FieldId::kP),
-                         chunk_.field(FieldId::kW), chunk_.field(FieldId::kU),
-                         chunk_.field(FieldId::kR));
+  if (!row_mode_) {
+    return ref::cg_calc_ur(mesh_, alpha, chunk_.field(FieldId::kP),
+                           chunk_.field(FieldId::kW), chunk_.field(FieldId::kU),
+                           chunk_.field(FieldId::kR));
+  }
+  const auto p = chunk_.field(FieldId::kP);
+  const auto w = chunk_.field(FieldId::kW);
+  auto u = chunk_.field(FieldId::kU);
+  auto r = chunk_.field(FieldId::kR);
+  const int h = mesh_.halo_depth;
+  row_partials_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  for (int y = h; y < h + mesh_.ny; ++y) {
+    double rrn = 0.0;
+    for (int x = h; x < h + mesh_.nx; ++x) {
+      u(x, y) += alpha * p(x, y);
+      const double res = r(x, y) - alpha * w(x, y);
+      r(x, y) = res;
+      rrn += res * res;
+    }
+    row_partials_[static_cast<std::size_t>(y - h)] = rrn;
+  }
+  return fold_rows(1);
 }
 
 void ReferenceKernels::cg_calc_p(double beta) {
@@ -350,6 +462,27 @@ void ReferenceKernels::jacobi_iterate() {
                       chunk_.field(FieldId::kKy), chunk_.field(FieldId::kU));
 }
 
+bool ReferenceKernels::set_row_reductions(bool on) {
+  row_mode_ = on;
+  if (!on) row_partials_.clear();
+  return true;
+}
+
+std::span<const double> ReferenceKernels::row_partials() const {
+  return row_mode_ ? std::span<const double>(row_partials_)
+                   : std::span<const double>{};
+}
+
+double ReferenceKernels::fold_rows(int k, int block) {
+  fold_scratch_ = row_partials_;
+  const std::int64_t ny =
+      static_cast<std::int64_t>(row_partials_.size()) / std::max(k, 1);
+  return pairwise_sum(
+      fold_scratch_.data() + static_cast<std::size_t>(block) *
+                                 static_cast<std::size_t>(ny),
+      ny);
+}
+
 void ReferenceKernels::read_u(tl::util::Span2D<double> out) {
   const auto u = chunk_.field(FieldId::kU);
   std::memcpy(out.data(), u.data(), u.size() * sizeof(double));
@@ -374,20 +507,6 @@ void ReferenceKernels::download_energy(Chunk& chunk) {
 // index — the result depends only on the mesh, never on thread count or
 // tile schedule.
 // ---------------------------------------------------------------------------
-
-namespace {
-
-/// In-place pairwise tree fold over `n` row partials.
-double pairwise_sum(double* p, std::int64_t n) {
-  for (std::int64_t width = 1; width < n; width *= 2) {
-    for (std::int64_t i = 0; i + width < n; i += 2 * width) {
-      p[i] += p[i + width];
-    }
-  }
-  return n > 0 ? p[0] : 0.0;
-}
-
-}  // namespace
 
 int ReferenceKernels::tile_rows(int nfields) const {
   constexpr std::size_t kL2Bytes = 256u * 1024u;

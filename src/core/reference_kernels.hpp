@@ -73,6 +73,15 @@ class ReferenceKernels final : public SolverKernels {
   const tl::sim::SimClock& clock() const override { return clock_; }
   void begin_run(std::uint64_t) override { clock_.reset(); }
 
+  // Elastic per-row reductions: when enabled, the classic reduction kernels
+  // (calc_2norm, cg_init, cg_calc_w, cg_calc_ur, field_summary) accumulate
+  // one partial per interior row (sequential in x) and publish them via
+  // row_partials(); the scalar they return is the pairwise tree fold over
+  // the local rows. The distributed layer re-folds the *global* row vector,
+  // making results bit-identical across any row-strip split.
+  bool set_row_reductions(bool on) override;
+  std::span<const double> row_partials() const override;
+
   /// Direct field access for tests.
   tl::util::Span2D<double> field(FieldId f) { return chunk_.field(f); }
   tl::util::Span2D<double> field_view(FieldId f) override {
@@ -91,6 +100,15 @@ class ReferenceKernels final : public SolverKernels {
   // Per-row reduction slots for the fused kernels (pw/rw/ww reuse all three;
   // single-sum kernels use the first).
   std::vector<double> row_a_, row_b_, row_c_;
+
+  /// Pairwise-folds the `k` blocks of ny partials currently in
+  /// `row_partials_` (via a scratch copy — the published partials stay
+  /// pristine) and returns the fold of block `block`.
+  double fold_rows(int k, int block = 0);
+
+  bool row_mode_ = false;
+  std::vector<double> row_partials_;  // k blocks of ny, row-major per block
+  std::vector<double> fold_scratch_;
 };
 
 // ---------------------------------------------------------------------------

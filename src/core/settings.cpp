@@ -40,6 +40,7 @@ Settings Settings::from_config(const tl::util::IniConfig& cfg) {
       static_cast<int>(cfg.get_long_or("tl_chebyshev_prep_iters", s.cg_prep_iters));
   s.use_fused = cfg.get_bool_or("tl_use_fused", s.use_fused);
   s.overlap_comm = cfg.get_bool_or("tl_overlap_comm", s.overlap_comm);
+  s.elastic = cfg.get_bool_or("tl_elastic", s.elastic);
 
   if (cfg.get_bool_or("tl_use_jacobi", false)) s.solver = SolverKind::kJacobi;
   if (cfg.get_bool_or("tl_use_cg", false)) s.solver = SolverKind::kCg;
@@ -87,6 +88,10 @@ void Settings::validate() const {
   if (dt_init <= 0.0) throw std::invalid_argument("Settings: bad timestep");
   if (end_step < 1) throw std::invalid_argument("Settings: end_step < 1");
   if (nranks < 1) throw std::invalid_argument("Settings: nranks < 1");
+  if (elastic && nranks > ny) {
+    throw std::invalid_argument(
+        "Settings: elastic row-strip decomposition needs nranks <= ny");
+  }
   if (eps <= 0.0) throw std::invalid_argument("Settings: eps must be > 0");
   if (max_iters < 1) throw std::invalid_argument("Settings: max_iters < 1");
   if (ppcg_inner_steps < 1) {

@@ -68,6 +68,11 @@ struct Settings {
   bool use_fused = true;    // dispatch caps()-advertised fused kernels
   bool overlap_comm = true;  // overlap halo exchange with interior compute
                              // (multi-rank, regions-capable ports only)
+  bool elastic = false;  // rank-count-invariant numerics: per-row reductions
+                         // folded over the global row order, row-strip
+                         // decomposition. Forces the classic (non-fused,
+                         // non-overlapped) path; needed for checkpoints that
+                         // resume into a different rank count bit-for-bit.
 
   // Initial states: states[0] is the background (whole domain); later
   // entries paint rectangles over it.

@@ -1,6 +1,7 @@
 #include "dist/driver.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,14 @@
 namespace tl::dist {
 
 namespace {
+
+/// Settings-derived decomposition: elastic mode needs row strips (whole rows
+/// per rank) for the rank-count-invariant reduction order.
+comm::BlockDecomposition default_decomp(const core::Settings& s) {
+  comm::DecompOptions opt;
+  if (s.elastic) opt.layout = comm::DecompOptions::Layout::kRows;
+  return comm::BlockDecomposition(s.nx, s.ny, s.nranks, opt);
+}
 
 core::Mesh global_mesh_from(const core::Settings& s) {
   core::Mesh mesh(s.nx, s.ny, s.halo_depth);
@@ -75,10 +84,8 @@ std::size_t DistReport::total_comm_bytes() const {
 DistributedDriver::DistributedDriver(const core::Settings& settings,
                                      PortFactory factory,
                                      const sim::NetworkSpec& net)
-    : DistributedDriver(
-          settings, std::move(factory),
-          comm::BlockDecomposition(settings.nx, settings.ny, settings.nranks),
-          net) {}
+    : DistributedDriver(settings, std::move(factory), default_decomp(settings),
+                        net) {}
 
 DistributedDriver::DistributedDriver(const core::Settings& settings,
                                      PortFactory factory,
@@ -97,21 +104,59 @@ DistributedDriver::DistributedDriver(const core::Settings& settings,
     throw std::invalid_argument(
         "DistributedDriver: decomposition does not match settings");
   }
+  if (settings_.elastic) {
+    // The elastic fold is defined over whole rows in global order; fused and
+    // overlapped paths would reorder the accumulation, so force them off.
+    settings_.use_fused = false;
+    settings_.overlap_comm = false;
+    if (!decomp_.row_strips()) {
+      throw std::invalid_argument(
+          "DistributedDriver: elastic mode requires a row-strip "
+          "decomposition (every rank must own whole rows)");
+    }
+  }
 }
 
-DistReport DistributedDriver::run() {
+DistReport DistributedDriver::run() { return run(RunControl{}); }
+
+DistReport DistributedDriver::run(const RunControl& ctl) {
   const int nranks = decomp_.nranks();
   const int h = settings_.halo_depth;
+  const int gnx = settings_.nx;
+  const int gny = settings_.ny;
   const double rx =
       settings_.dt_init / (global_mesh_.dx() * global_mesh_.dx());
   const double ry =
       settings_.dt_init / (global_mesh_.dy() * global_mesh_.dy());
+
+  if (ctl.resume != nullptr) check_resume_compatible(*ctl.resume, settings_);
+  const int first_step = ctl.resume ? ctl.resume->completed_steps + 1 : 1;
+  int last_step = settings_.end_step;
+  if (ctl.halt_after_step > 0) last_step = std::min(last_step, ctl.halt_after_step);
+  if (last_step < first_step) {
+    throw std::invalid_argument(
+        "DistributedDriver: halt_after_step precedes the resume point");
+  }
+  const bool may_capture = static_cast<bool>(ctl.on_checkpoint) &&
+                           (ctl.checkpoint_every > 0 || ctl.halt_after_step > 0);
 
   DistReport report;
   report.global_mesh = global_mesh_;
   report.u.resize(global_mesh_.padded_cells());
   report.energy.resize(global_mesh_.padded_cells());
   report.ranks.resize(static_cast<std::size_t>(nranks));
+
+  // Checkpoint staging: every rank writes its tile's interiors and cursor
+  // into these, then rank 0 assembles the Snapshot between two barriers.
+  std::vector<double> stage_density, stage_energy0;
+  std::vector<RankCursor> stage_cursors;
+  if (may_capture) {
+    const std::size_t cells =
+        static_cast<std::size_t>(gnx) * static_cast<std::size_t>(gny);
+    stage_density.assign(cells, 0.0);
+    stage_energy0.assign(cells, 0.0);
+    stage_cursors.resize(static_cast<std::size_t>(nranks));
+  }
 
   // Rank threads write disjoint slots: their RankReport, their tile's
   // interior cells of the global field buffers, and (rank 0 only) run.steps.
@@ -128,15 +173,107 @@ DistReport DistributedDriver::run() {
 
     DistributedKernels k(factory_(mesh, rank), cm, decomp_, h, *net_,
                          settings_.overlap_comm);
+    if (settings_.elastic) k.set_elastic(true);
+    if (ctl.faults.active()) k.enable_faults(ctl.faults);
+    if (!ctl.comm_perturb.empty()) k.set_comm_perturb(ctl.comm_perturb);
     if (static_cast<std::size_t>(rank) < sinks_.size() &&
         sinks_[static_cast<std::size_t>(rank)] != nullptr) {
       k.attach_trace_sink(sinks_[static_cast<std::size_t>(rank)]);
     }
 
+    if (ctl.resume != nullptr) {
+      // Redistribute the checkpointed interiors over the *current*
+      // decomposition: rank 0 holds the snapshot's global fields, broadcasts
+      // them through MiniComm, and every rank scatters its own tile.
+      const Snapshot& snap = *ctl.resume;
+      const std::size_t cells =
+          static_cast<std::size_t>(gnx) * static_cast<std::size_t>(gny);
+      std::vector<double> gdens(cells), gen0(cells);
+      if (rank == 0) {
+        gdens = snap.density;
+        gen0 = snap.energy0;
+      }
+      cm.broadcast(std::span<double>(gdens), 0);
+      cm.broadcast(std::span<double>(gen0), 0);
+      auto d = chunk.field(core::FieldId::kDensity);
+      auto e0 = chunk.field(core::FieldId::kEnergy0);
+      for (int y = 0; y < tile.ny(); ++y) {
+        for (int x = 0; x < tile.nx(); ++x) {
+          const std::size_t g =
+              static_cast<std::size_t>(tile.y_begin + y) * gnx +
+              static_cast<std::size_t>(tile.x_begin + x);
+          d(h + x, h + y) = gdens[g];
+          e0(h + x, h + y) = gen0[g];
+        }
+      }
+      if (snap.nranks_at_save == nranks &&
+          static_cast<std::size_t>(rank) < snap.cursors.size()) {
+        // Same world shape: continue the simulated clock and comm tally from
+        // the capture point so timing reports match the uninterrupted run.
+        // A different rank count drops the cursors (timers restart at zero);
+        // numerics are unaffected either way.
+        const RankCursor& c = snap.cursors[static_cast<std::size_t>(rank)];
+        const_cast<sim::SimClock&>(k.clock())
+            .restore(c.elapsed_ns, c.launches, c.transfers, c.kernel_bytes,
+                     c.transfer_bytes);
+        k.restore_comm_stats(c.comm);
+      }
+    }
+
     std::vector<core::StepReport> steps;
-    steps.reserve(static_cast<std::size_t>(settings_.end_step));
-    for (int s = 0; s < settings_.end_step; ++s) {
-      steps.push_back(run_one_step(k, chunk, settings_, rx, ry, h, s + 1));
+    steps.reserve(static_cast<std::size_t>(last_step));
+    if (ctl.resume != nullptr) {
+      steps.assign(ctl.resume->steps.begin(), ctl.resume->steps.end());
+    }
+    for (int s = first_step; s <= last_step; ++s) {
+      k.set_fault_step(s);
+      steps.push_back(run_one_step(k, chunk, settings_, rx, ry, h, s));
+
+      const bool periodic =
+          ctl.checkpoint_every > 0 && s % ctl.checkpoint_every == 0;
+      const bool at_halt = ctl.halt_after_step > 0 && s == last_step;
+      if (may_capture && (periodic || at_halt)) {
+        const auto d = chunk.field(core::FieldId::kDensity);
+        const auto e0 = chunk.field(core::FieldId::kEnergy0);
+        for (int y = 0; y < tile.ny(); ++y) {
+          for (int x = 0; x < tile.nx(); ++x) {
+            const std::size_t g =
+                static_cast<std::size_t>(tile.y_begin + y) * gnx +
+                static_cast<std::size_t>(tile.x_begin + x);
+            stage_density[g] = d(h + x, h + y);
+            stage_energy0[g] = e0(h + x, h + y);
+          }
+        }
+        RankCursor& cur = stage_cursors[static_cast<std::size_t>(rank)];
+        cur.elapsed_ns = k.clock().elapsed_ns();
+        cur.launches = k.clock().launches();
+        cur.transfers = k.clock().transfers();
+        cur.kernel_bytes = k.clock().kernel_bytes();
+        cur.transfer_bytes = k.clock().transfer_bytes();
+        cur.comm = k.comm_stats();
+        cm.barrier();
+        if (rank == 0) {
+          Snapshot snap;
+          snap.nx = gnx;
+          snap.ny = gny;
+          snap.halo_depth = h;
+          snap.solver = settings_.solver;
+          snap.end_step = settings_.end_step;
+          snap.elastic = settings_.elastic;
+          snap.use_fused = settings_.use_fused;
+          snap.overlap_comm = settings_.overlap_comm;
+          snap.eps = settings_.eps;
+          snap.dt_init = settings_.dt_init;
+          snap.completed_steps = s;
+          snap.nranks_at_save = nranks;
+          snap.steps = steps;  // rank 0's steps carry any resume prefix
+          snap.cursors = stage_cursors;
+          snap.density = stage_density;
+          snap.energy0 = stage_energy0;
+          ctl.on_checkpoint(snap);
+        }
+        cm.barrier();
+      }
     }
 
     // Gather this tile's interiors into the global buffers.

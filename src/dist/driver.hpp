@@ -13,11 +13,14 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/decomposition.hpp"
+#include "comm/fault.hpp"
 #include "core/driver.hpp"
 #include "core/settings.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/kernels.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -56,6 +59,31 @@ struct DistReport {
   std::size_t total_comm_bytes() const;
 };
 
+/// Elastic-execution controls for one run() call. Default-constructed, the
+/// run is exactly the classic full run.
+struct RunControl {
+  /// > 0: stop after this step (a simulated kill at a step boundary). The
+  /// returned report covers only the steps that ran; resume from the last
+  /// snapshot to finish.
+  int halt_after_step = 0;
+  /// > 0: capture a Snapshot every N steps (and at a halt_after_step halt).
+  int checkpoint_every = 0;
+  /// Receives each captured snapshot, on rank 0's thread, while the other
+  /// ranks hold at a barrier. Without it, captures are skipped.
+  std::function<void(const Snapshot&)> on_checkpoint;
+  /// Resume from this snapshot instead of step 1: fields are redistributed
+  /// over the *current* decomposition (the rank count may differ from
+  /// nranks_at_save), completed StepReports are prepended, and — same rank
+  /// count only — per-rank clock/comm cursors are restored. Must stay valid
+  /// for the run() call. Throws CheckpointError on a fingerprint mismatch.
+  const Snapshot* resume = nullptr;
+  /// active() schedules routed through FaultyComm's reliable protocol.
+  comm::FaultSpec faults;
+  /// "" (off), "halo_payload", or "allreduce" — in-flight comm corruption
+  /// for tl_verify --perturb.
+  std::string comm_perturb;
+};
+
 class DistributedDriver {
  public:
   /// Throws std::invalid_argument for bad settings (including a
@@ -74,6 +102,10 @@ class DistributedDriver {
 
   /// Runs settings.end_step steps over settings.nranks ranks.
   DistReport run();
+
+  /// As run(), under elastic-execution controls (checkpoint capture, halted
+  /// runs, snapshot resume, comm fault injection, comm perturbation).
+  DistReport run(const RunControl& ctl);
 
   const comm::BlockDecomposition& decomposition() const noexcept {
     return decomp_;

@@ -37,6 +37,35 @@ static_assert(static_cast<long long>(kTagModulus) * 8 <=
               "halo wire tags (tag * 8 + subtag) must stay below the "
               "reserved collective tag base");
 
+// Subtags 4 and 5 of the tag * 8 scheme (halo uses 0-3) carry the elastic
+// row-partial gather/broadcast and the fault-mode reliable allreduce, so
+// every wire message in a run still has a unique tag.
+constexpr int kSubtagGather = 4;
+constexpr int kSubtagBcast = 5;
+
+// In-flight corruption model: scale-plus-offset, applied to one payload
+// value per comm phase. The offset matters — early in a solve, rank 1's
+// reduction partials (and some halo cells) are exactly zero, where a pure
+// scale would be invisible. The magnitude (1e-3) is chosen to clear
+// ToleranceSpec::distributed (history rel 1e-6, checksums rel 1e-8) by
+// orders of magnitude, so the conformance checker must flag it.
+constexpr double kPerturbFactor = 1.0 + 1e-3;
+constexpr double kPerturbOffset = 1e-3;
+
+double perturb(double x) { return x * kPerturbFactor + kPerturbOffset; }
+
+/// In-place pairwise tree fold over `n` row partials — the same tree the
+/// ports fold locally, here applied to the *global* row vector so the result
+/// is invariant under any row-strip split.
+double pairwise_sum(double* p, std::int64_t n) {
+  for (std::int64_t width = 1; width < n; width *= 2) {
+    for (std::int64_t i = 0; i + width < n; i += 2 * width) {
+      p[i] += p[i + width];
+    }
+  }
+  return n > 0 ? p[0] : 0.0;
+}
+
 }  // namespace
 
 DistributedKernels::DistributedKernels(
@@ -45,9 +74,11 @@ DistributedKernels::DistributedKernels(
     const sim::NetworkSpec& net, bool overlap_comm)
     : inner_(std::move(inner)),
       comm_(&comm),
+      decomp_(&decomp),
       exchanger_(decomp, comm.rank(), halo_depth),
       net_(&net),
       nranks_(decomp.nranks()),
+      halo_depth_(halo_depth),
       overlap_(overlap_comm) {
   if (!inner_) throw std::invalid_argument("DistributedKernels: null inner");
   if (nranks_ != comm.size()) {
@@ -69,11 +100,90 @@ void DistributedKernels::meter_comm(const char* name, std::size_t sent,
   stats_.comm_ns += ns;
 }
 
+void DistributedKernels::set_elastic(bool on) {
+  if (on && !inner_->set_row_reductions(true)) {
+    throw std::invalid_argument(
+        "DistributedKernels: elastic mode needs a port with per-row "
+        "reductions (set_row_reductions refused)");
+  }
+  if (!on) inner_->set_row_reductions(false);
+  elastic_ = on;
+  if (on) overlap_ = false;
+}
+
+void DistributedKernels::enable_faults(const comm::FaultSpec& spec) {
+  fc_ = std::make_unique<comm::FaultyComm>(*comm_, spec);
+  overlap_ = false;
+}
+
+void DistributedKernels::set_fault_step(int step) {
+  if (fc_) fc_->set_step(step);
+}
+
+void DistributedKernels::set_comm_perturb(std::string_view target) {
+  if (target == "halo_payload") {
+    perturb_halo_ = true;
+  } else if (target == "allreduce") {
+    perturb_allreduce_ = true;
+  } else {
+    throw std::invalid_argument("unknown comm perturb target: " +
+                                std::string(target));
+  }
+  overlap_ = false;  // blocking path only: the corruption must always apply
+}
+
+void DistributedKernels::sync_fault_stats() {
+  const comm::FaultStats& fs = fc_->stats();
+  if (fs.retries > stats_.retries) {
+    // Trace-only breadcrumb (bytes = new retries): makes retry storms
+    // visible in Chrome traces without touching the metered timeline.
+    if (sim::TraceSink* sink = inner_->clock().trace_sink()) {
+      sim::TraceEvent ev;
+      ev.kind = sim::TraceEvent::Kind::kLaunch;
+      ev.name = "comm_retry";
+      ev.kernel_id = -1;
+      ev.phase = "comm";
+      ev.start_ns = inner_->clock().elapsed_ns();
+      ev.duration_ns = 0.0;
+      ev.bytes = static_cast<std::size_t>(fs.retries - stats_.retries);
+      sink->on_event(ev);
+    }
+  }
+  stats_.retries = fs.retries;
+  stats_.dropped = fs.dropped;
+  stats_.duplicated = fs.duplicated;
+  stats_.delayed = fs.delayed;
+}
+
+void DistributedKernels::perturb_halo_cell(core::FieldId id) {
+  auto f = inner_->field_view(id);
+  const comm::Tile& t = exchanger_.tile();
+  const int h = halo_depth_;
+  // Scale one halo cell that was just received from a neighbour (rank 1
+  // always has at least one); the corrupted value feeds the next stencil
+  // sweep exactly as an in-flight payload flip would.
+  if (t.has_neighbour(Face::kBottom)) {
+    f(h, h - 1) = perturb(f(h, h - 1));
+  } else if (t.has_neighbour(Face::kLeft)) {
+    f(h - 1, h) = perturb(f(h - 1, h));
+  } else if (t.has_neighbour(Face::kTop)) {
+    f(h, h + t.ny()) = perturb(f(h, h + t.ny()));
+  } else if (t.has_neighbour(Face::kRight)) {
+    f(h + t.nx(), h) = perturb(f(h + t.nx(), h));
+  }
+}
+
 void DistributedKernels::exchange_field(core::FieldId id, int depth) {
   const int tag = next_tag_;
   next_tag_ = (next_tag_ + 1) % kTagModulus;
   auto field = inner_->field_view(id);
-  exchanger_.exchange(*comm_, field, depth, tag);
+  if (fc_) {
+    exchanger_.exchange_reliable(*fc_, field, depth, tag);
+    sync_fault_stats();
+  } else {
+    exchanger_.exchange(*comm_, field, depth, tag);
+  }
+  if (perturb_halo_ && comm_->rank() == 1) perturb_halo_cell(id);
 
   // Wire accounting: a strip of `depth` layers per present neighbour; x
   // strips span the tile height, y strips the full padded width (corner
@@ -176,9 +286,21 @@ void DistributedKernels::complete_pending() {
 }
 
 double DistributedKernels::allreduce_sum(double local) {
+  if (perturb_allreduce_ && comm_->rank() == 1) local = perturb(local);
   if (nranks_ == 1) return local;
-  const double global =
-      comm_->allreduce(local, comm::Communicator::ReduceOp::kSum);
+  double global;
+  if (fc_) {
+    const int tag = next_tag_;
+    next_tag_ = (next_tag_ + 1) % kTagModulus;
+    double v = local;
+    comm::reliable_allreduce_sum(*fc_, std::span<double>(&v, 1),
+                                 tag * 8 + kSubtagGather,
+                                 tag * 8 + kSubtagBcast);
+    sync_fault_stats();
+    global = v;
+  } else {
+    global = comm_->allreduce(local, comm::Communicator::ReduceOp::kSum);
+  }
   ++stats_.allreduces;
   const std::size_t level_bytes = sizeof(double) * [](int p) {
     int d = 0;
@@ -188,6 +310,143 @@ double DistributedKernels::allreduce_sum(double local) {
   meter_comm("allreduce", level_bytes, level_bytes,
              sim::allreduce_ns(*net_, sizeof(double), nranks_));
   return global;
+}
+
+void DistributedKernels::allreduce_block(double* values, std::size_t n) {
+  if (perturb_allreduce_ && comm_->rank() == 1) values[0] = perturb(values[0]);
+  if (nranks_ == 1) return;
+  if (fc_) {
+    const int tag = next_tag_;
+    next_tag_ = (next_tag_ + 1) % kTagModulus;
+    comm::reliable_allreduce_sum(*fc_, std::span<double>(values, n),
+                                 tag * 8 + kSubtagGather,
+                                 tag * 8 + kSubtagBcast);
+    sync_fault_stats();
+  } else {
+    comm_->allreduce(std::span<double>(values, n),
+                     comm::Communicator::ReduceOp::kSum);
+  }
+  ++stats_.allreduces;
+  const std::size_t payload = n * sizeof(double);
+  meter_comm("allreduce", payload, payload,
+             sim::allreduce_ns(*net_, payload, nranks_));
+}
+
+void DistributedKernels::elastic_combine(int k, double* out) {
+  const std::span<const double> local = inner_->row_partials();
+  const int local_ny = exchanger_.tile().ny();
+  if (local.size() !=
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(local_ny)) {
+    throw std::runtime_error(
+        "DistributedKernels: elastic port published a row-partial vector of "
+        "unexpected size");
+  }
+  const int gny = decomp_->global_ny();
+  const std::size_t gny_z = static_cast<std::size_t>(gny);
+
+  if (nranks_ == 1) {
+    elastic_scratch_.assign(local.begin(), local.end());
+    for (int j = 0; j < k; ++j) {
+      out[j] = pairwise_sum(
+          elastic_scratch_.data() + static_cast<std::size_t>(j) * gny_z, gny);
+    }
+    return;
+  }
+
+  const int tag = next_tag_;
+  next_tag_ = (next_tag_ + 1) % kTagModulus;
+  const int gather_tag = tag * 8 + kSubtagGather;
+  const int bcast_tag = tag * 8 + kSubtagBcast;
+  std::span<double> result(out, static_cast<std::size_t>(k));
+
+  if (comm_->rank() == 0) {
+    // Assemble the k global row vectors: rank r's rows land at its tile's
+    // y_begin, so rank-order placement IS global row order for row strips.
+    elastic_scratch_.assign(static_cast<std::size_t>(k) * gny_z, 0.0);
+    auto place = [&](int rank, std::span<const double> partials) {
+      const comm::Tile& t = decomp_->tile(rank);
+      const std::size_t rows = static_cast<std::size_t>(t.ny());
+      for (int j = 0; j < k; ++j) {
+        std::copy_n(partials.data() + static_cast<std::size_t>(j) * rows, rows,
+                    elastic_scratch_.data() +
+                        static_cast<std::size_t>(j) * gny_z +
+                        static_cast<std::size_t>(t.y_begin));
+      }
+    };
+    place(0, local);
+
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(nranks_), 0);
+    std::size_t total = 0;
+    for (int r = 1; r < nranks_; ++r) {
+      offsets[static_cast<std::size_t>(r)] = total;
+      total += static_cast<std::size_t>(k) *
+               static_cast<std::size_t>(decomp_->tile(r).ny());
+    }
+    std::vector<double> incoming(total);
+    if (fc_) {
+      std::vector<comm::WireIn> ins;
+      ins.reserve(static_cast<std::size_t>(nranks_ - 1));
+      for (int r = 1; r < nranks_; ++r) {
+        const std::size_t count = static_cast<std::size_t>(k) *
+                                  static_cast<std::size_t>(decomp_->tile(r).ny());
+        ins.push_back({r, gather_tag,
+                       std::span<double>(
+                           incoming.data() + offsets[static_cast<std::size_t>(r)],
+                           count)});
+      }
+      fc_->exchange({}, ins);
+    } else {
+      for (int r = 1; r < nranks_; ++r) {
+        const std::size_t count = static_cast<std::size_t>(k) *
+                                  static_cast<std::size_t>(decomp_->tile(r).ny());
+        comm_->recv(std::span<double>(
+                        incoming.data() + offsets[static_cast<std::size_t>(r)],
+                        count),
+                    r, gather_tag);
+      }
+    }
+    for (int r = 1; r < nranks_; ++r) {
+      const std::size_t count = static_cast<std::size_t>(k) *
+                                static_cast<std::size_t>(decomp_->tile(r).ny());
+      place(r, std::span<const double>(
+                   incoming.data() + offsets[static_cast<std::size_t>(r)],
+                   count));
+    }
+
+    for (int j = 0; j < k; ++j) {
+      out[j] = pairwise_sum(
+          elastic_scratch_.data() + static_cast<std::size_t>(j) * gny_z, gny);
+    }
+
+    if (fc_) {
+      std::vector<comm::WireOut> outs;
+      outs.reserve(static_cast<std::size_t>(nranks_ - 1));
+      for (int r = 1; r < nranks_; ++r) {
+        outs.push_back({r, bcast_tag, std::span<const double>(result)});
+      }
+      fc_->exchange(outs, {});
+      sync_fault_stats();
+    } else {
+      comm_->broadcast(result, 0);
+    }
+  } else {
+    if (fc_) {
+      const comm::WireOut contribute{0, gather_tag, local};
+      fc_->exchange(std::span<const comm::WireOut>(&contribute, 1), {});
+      const comm::WireIn back{0, bcast_tag, result};
+      fc_->exchange({}, std::span<const comm::WireIn>(&back, 1));
+      sync_fault_stats();
+    } else {
+      comm_->send(local, 0, gather_tag);
+      comm_->broadcast(result, 0);
+    }
+  }
+
+  ++stats_.allreduces;
+  const std::size_t payload =
+      static_cast<std::size_t>(k) * gny_z * sizeof(double);
+  meter_comm("row_allreduce", payload, payload,
+             sim::allreduce_ns(*net_, payload, nranks_));
 }
 
 void DistributedKernels::halo_update(unsigned fields, int depth) {
@@ -208,27 +467,39 @@ void DistributedKernels::halo_update(unsigned fields, int depth) {
 
 double DistributedKernels::calc_2norm(core::NormTarget target) {
   complete_pending();
-  return allreduce_sum(inner_->calc_2norm(target));
+  const double local = inner_->calc_2norm(target);
+  if (elastic_) {
+    double v;
+    elastic_combine(1, &v);
+    return v;
+  }
+  return allreduce_sum(local);
 }
 
 core::FieldSummary DistributedKernels::field_summary() {
   complete_pending();
   core::FieldSummary s = inner_->field_summary();
+  if (elastic_) {
+    double v[4];
+    elastic_combine(4, v);
+    return core::FieldSummary{v[0], v[1], v[2], v[3]};
+  }
   if (nranks_ == 1) return s;
   std::array<double, 4> values = {s.volume, s.mass, s.internal_energy,
                                   s.temperature};
-  comm_->allreduce(std::span<double>(values.data(), values.size()),
-                   comm::Communicator::ReduceOp::kSum);
-  ++stats_.allreduces;
-  const std::size_t payload = sizeof(values);
-  meter_comm("allreduce", payload, payload,
-             sim::allreduce_ns(*net_, payload, nranks_));
+  allreduce_block(values.data(), values.size());
   return core::FieldSummary{values[0], values[1], values[2], values[3]};
 }
 
 double DistributedKernels::cg_init() {
   complete_pending();
-  return allreduce_sum(inner_->cg_init());
+  const double local = inner_->cg_init();
+  if (elastic_) {
+    double v;
+    elastic_combine(1, &v);
+    return v;
+  }
+  return allreduce_sum(local);
 }
 
 double DistributedKernels::cg_calc_w() {
@@ -247,12 +518,23 @@ double DistributedKernels::cg_calc_w() {
     complete_pending();
     local = inner_->cg_calc_w();
   }
+  if (elastic_) {
+    double v;
+    elastic_combine(1, &v);
+    return v;
+  }
   return allreduce_sum(local);
 }
 
 double DistributedKernels::cg_calc_ur(double alpha) {
   complete_pending();
-  return allreduce_sum(inner_->cg_calc_ur(alpha));
+  const double local = inner_->cg_calc_ur(alpha);
+  if (elastic_) {
+    double v;
+    elastic_combine(1, &v);
+    return v;
+  }
+  return allreduce_sum(local);
 }
 
 core::CgFusedW DistributedKernels::cg_calc_w_fused() {
@@ -272,12 +554,7 @@ core::CgFusedW DistributedKernels::cg_calc_w_fused() {
   // The fused sweep's two dots travel in one allreduce (the fusion's comm
   // win: one latency instead of two).
   std::array<double, 2> values = {local.pw, local.ww};
-  comm_->allreduce(std::span<double>(values.data(), values.size()),
-                   comm::Communicator::ReduceOp::kSum);
-  ++stats_.allreduces;
-  const std::size_t payload = sizeof(values);
-  meter_comm("allreduce", payload, payload,
-             sim::allreduce_ns(*net_, payload, nranks_));
+  allreduce_block(values.data(), values.size());
   return core::CgFusedW{values[0], values[1]};
 }
 

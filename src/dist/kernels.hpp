@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "comm/halo.hpp"
 #include "comm/minimpi.hpp"
@@ -31,6 +33,14 @@ struct CommStats {
   // accumulates the exposed remainder for those exchanges).
   std::uint64_t overlapped_exchanges = 0;
   double hidden_ns = 0.0;
+  // Fault-injected runs (FaultyComm active): totals mirrored from the
+  // injector after every reliable operation. The values are timing-dependent
+  // (a retry races the first copy's delivery), so they are informational —
+  // asserted > 0 or == 0, never exact-checked.
+  std::uint64_t retries = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
 };
 
 class DistributedKernels final : public core::SolverKernels {
@@ -91,11 +101,48 @@ class DistributedKernels final : public core::SolverKernels {
   const CommStats& comm_stats() const noexcept { return stats_; }
   core::SolverKernels& inner() noexcept { return *inner_; }
 
+  // -- Elastic mode ----------------------------------------------------------
+  /// Rank-count-invariant reductions: the inner port computes one partial
+  /// per interior row (set_row_reductions), and every reduction gathers the
+  /// partials in global row order and folds one pairwise tree over global
+  /// ny — identical for any row-strip split of the mesh. Requires a
+  /// row-strip decomposition (the driver enforces it) and a port that
+  /// honours set_row_reductions; throws std::invalid_argument otherwise.
+  /// Forces the blocking exchange path (overlap off).
+  void set_elastic(bool on);
+
+  // -- Fault injection -------------------------------------------------------
+  /// Routes every halo exchange and allreduce through the reliable ack/retry
+  /// protocol under `spec`'s deterministic fault schedule. Numerics are
+  /// unchanged (exactly-once delivery); an unsurvivable schedule throws a
+  /// CommFaultError subclass. Forces the blocking exchange path.
+  void enable_faults(const comm::FaultSpec& spec);
+  /// Step-boundary notification for step-scoped fault triggers.
+  void set_fault_step(int step);
+  bool faults_active() const noexcept { return fc_ != nullptr; }
+
+  /// Comm-phase perturbation for tl_verify --perturb: "halo_payload" scales
+  /// one received halo cell on rank 1 after every exchange; "allreduce"
+  /// scales rank 1's local contribution before the reduction. Throws
+  /// std::invalid_argument for unknown targets. Forces the blocking path so
+  /// the corruption is applied on every exchange.
+  void set_comm_perturb(std::string_view target);
+
+  /// Seeds the comm tally from a checkpoint cursor (same-rank-count resume).
+  void restore_comm_stats(const CommStats& stats) { stats_ = stats; }
+
  private:
   void exchange_field(core::FieldId id, int depth);
   double allreduce_sum(double local);
+  void allreduce_block(double* values, std::size_t n);
   void meter_comm(const char* name, std::size_t sent, std::size_t received,
                   double ns);
+  /// Gathers the inner port's k blocks of per-row partials to rank 0 in
+  /// global row order, pairwise-folds each block over global ny, and
+  /// broadcasts the k folded values into `out`.
+  void elastic_combine(int k, double* out);
+  void sync_fault_stats();
+  void perturb_halo_cell(core::FieldId id);
 
   // -- Overlapped halo pipeline ---------------------------------------------
   /// One in-flight exchange at most. `span` is the field view captured at
@@ -126,13 +173,20 @@ class DistributedKernels final : public core::SolverKernels {
 
   std::unique_ptr<core::SolverKernels> inner_;
   comm::Communicator* comm_;
+  const comm::BlockDecomposition* decomp_;
   comm::HaloExchanger exchanger_;
   const sim::NetworkSpec* net_;
   CommStats stats_;
   int nranks_;
+  int halo_depth_;
   int next_tag_ = 0;
   bool overlap_;
   PendingExchange pending_;
+  bool elastic_ = false;
+  std::unique_ptr<comm::FaultyComm> fc_;
+  bool perturb_halo_ = false;
+  bool perturb_allreduce_ = false;
+  std::vector<double> elastic_scratch_;
 };
 
 }  // namespace tl::dist

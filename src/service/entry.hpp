@@ -31,6 +31,17 @@ struct ScenarioHooks {
   /// Session's cache hands it in so repeated shapes skip the grid
   /// factorisation. nullptr recomputes; ignored for single-chunk runs.
   const comm::BlockDecomposition* decomposition = nullptr;
+
+  // -- Elastic execution (distributed scenarios only; single-chunk runs have
+  // no communication to fault or re-decompose, so these are ignored there) --
+  /// active() schedules are injected into the MiniComm world; exchanges run
+  /// the reliable ack/retry protocol, so numerics are unchanged.
+  comm::FaultSpec faults;
+  /// > 0: capture a Snapshot every N steps into on_checkpoint.
+  int checkpoint_every = 0;
+  std::function<void(const dist::Snapshot&)> on_checkpoint;
+  /// Resume from this snapshot instead of step 1 (dist::RunControl::resume).
+  const dist::Snapshot* resume = nullptr;
 };
 
 /// What a scenario run yields: the step reports, the per-rank breakdown

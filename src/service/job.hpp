@@ -10,11 +10,14 @@
 // byte-identical checksums — the soak bench's core assertion.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "comm/fault.hpp"
 #include "core/settings.hpp"
+#include "dist/checkpoint.hpp"
 #include "sim/device.hpp"
 #include "sim/model_id.hpp"
 #include "verify/checksum.hpp"
@@ -57,6 +60,21 @@ struct Job {
   std::string tenant;
   Priority priority = Priority::kNormal;
   Scenario scenario;
+
+  // -- Elastic execution (distributed scenarios only) ------------------------
+  /// Comm fault schedule injected into the job's MiniComm world (soak tests;
+  /// inactive by default). The reliable protocol keeps numerics unchanged.
+  comm::FaultSpec faults;
+  /// A resumable job runs under per-step checkpoint capture; when it dies on
+  /// a retryable comm fault (CommFaultError), the worker re-enqueues it from
+  /// its last snapshot with the next fault epoch instead of failing it.
+  bool resumable = false;
+  int max_resume_attempts = 3;
+
+  /// Resume state, service-internal: set by the worker on re-enqueue, never
+  /// by tenants. Null means start from step 1.
+  std::shared_ptr<const dist::Snapshot> resume_from;
+  int resume_attempts = 0;  // doubles as the fault-schedule epoch
 };
 
 /// One finished job. `ok == false` means the job was rejected or threw
@@ -69,6 +87,14 @@ struct JobResult {
 
   bool ok = false;
   std::string error;
+  /// Failed on a retryable comm fault — a resumable job is re-enqueued from
+  /// its last checkpoint rather than recorded with this result.
+  bool retryable = false;
+  int resume_attempts = 0;  // checkpoint resumes this result rode on
+  /// Last snapshot captured before a retryable failure (resumable jobs
+  /// only); the pool consumes it on re-enqueue and strips it from recorded
+  /// results.
+  std::shared_ptr<const dist::Snapshot> checkpoint;
 
   // Solve outcome (identical to the standalone run's).
   bool converged = false;

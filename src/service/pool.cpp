@@ -158,6 +158,37 @@ void SolveService::worker_main(int worker_index, JobQueue& lane,
       result.worker = worker_index;
       result.batch = batch_id;
       result.wait_pops = d.wait_pops;
+
+      // Elastic retry: a resumable job that died on a comm fault goes back
+      // on its lane from its last checkpoint (next fault epoch) instead of
+      // being recorded as failed. If the lane is closed (draining) or full
+      // (a blocking push from the lane's own worker could deadlock), the
+      // retries run inline on this worker so the job still completes —
+      // either way attempts stay bounded by max_resume_attempts.
+      if (!result.ok && result.retryable && d.job.resumable &&
+          d.job.resume_attempts < d.job.max_resume_attempts) {
+        Job retry = d.job;
+        bool requeued = false;
+        while (true) {
+          ++retry.resume_attempts;
+          retry.resume_from = std::move(result.checkpoint);
+          if (lane.try_push(retry)) {
+            requeued = true;
+            break;
+          }
+          result = session.run(retry);
+          result.worker = worker_index;
+          result.batch = batch_id;
+          result.wait_pops = d.wait_pops;
+          if (result.ok || !result.retryable ||
+              retry.resume_attempts >= retry.max_resume_attempts) {
+            break;
+          }
+        }
+        if (requeued) continue;  // the retry will record the final result
+      }
+
+      result.checkpoint.reset();
       session.meter(result);
       std::lock_guard lock(results_mutex_);
       results_.push_back(std::move(result));

@@ -94,6 +94,8 @@ class SolveService {
 
   const ServiceConfig& config() const noexcept { return config_; }
   std::uint64_t fairness_bound() const noexcept;
+  /// Lane pushes to date. Checkpoint re-enqueues of resumable jobs count
+  /// too, so under fault injection this can exceed the submit() call count.
   std::uint64_t submitted() const noexcept;
 
  private:

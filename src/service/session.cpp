@@ -37,12 +37,26 @@ JobResult Session::run(const Job& job) {
   result.tenant = job.tenant;
   result.priority = job.priority;
 
+  result.resume_attempts = job.resume_attempts;
+
   const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const dist::Snapshot> last_snap;
   try {
     ScenarioHooks hooks;
     hooks.host_threads = config_.host_threads;
     if (job.scenario.settings.nranks > 1) {
       hooks.decomposition = &decomposition_for(job.scenario);
+      hooks.faults = job.faults;
+      // Each resume attempt advances the fault epoch: the schedule hash
+      // changes, so a deterministic hard failure does not recur forever.
+      hooks.faults.epoch = job.resume_attempts;
+      if (job.resumable) {
+        hooks.checkpoint_every = 1;
+        hooks.on_checkpoint = [&last_snap](const dist::Snapshot& snap) {
+          last_snap = std::make_shared<dist::Snapshot>(snap);
+        };
+        hooks.resume = job.resume_from.get();
+      }
     }
     const ScenarioOutcome outcome = run_scenario(job.scenario, hooks);
 
@@ -63,6 +77,13 @@ JobResult Session::run(const Job& job) {
       result.iterations += step.solve.iterations;
       result.inner_iterations += step.solve.inner_iterations;
     }
+  } catch (const comm::CommFaultError& e) {
+    // Retryable: the world died on injected comm faults. Hand the last
+    // snapshot back so the pool can re-enqueue the job from it.
+    result.ok = false;
+    result.retryable = true;
+    result.error = e.what();
+    result.checkpoint = std::move(last_snap);
   } catch (const std::exception& e) {
     result.ok = false;
     result.error = e.what();

@@ -29,6 +29,19 @@ class SimClock {
     transfer_bytes_ = 0;
   }
 
+  /// Overwrites the counters with checkpointed values so a same-rank-count
+  /// resume continues the simulated timeline where the saved run left off.
+  /// Sink and context are untouched, exactly as for reset().
+  void restore(double elapsed_ns, std::uint64_t launches,
+               std::uint64_t transfers, std::size_t kernel_bytes,
+               std::size_t transfer_bytes) {
+    elapsed_ns_ = elapsed_ns;
+    launches_ = launches;
+    transfers_ = transfers;
+    kernel_bytes_ = kernel_bytes;
+    transfer_bytes_ = transfer_bytes;
+  }
+
   void add_launch_time(double ns, std::size_t bytes) {
     elapsed_ns_ += ns;
     ++launches_;

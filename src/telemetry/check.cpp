@@ -20,6 +20,7 @@ ArtifactKind classify(const util::JsonValue& doc) {
   if (bench == "fusion") return ArtifactKind::kBenchFusion;
   if (bench == "fig13_overlap") return ArtifactKind::kBenchOverlap;
   if (bench == "service") return ArtifactKind::kBenchService;
+  if (bench == "elastic") return ArtifactKind::kBenchElastic;
   return ArtifactKind::kUnknown;
 }
 
@@ -29,6 +30,7 @@ std::string_view artifact_kind_name(ArtifactKind kind) {
     case ArtifactKind::kBenchFusion: return "bench/fusion";
     case ArtifactKind::kBenchOverlap: return "bench/fig13_overlap";
     case ArtifactKind::kBenchService: return "bench/service";
+    case ArtifactKind::kBenchElastic: return "bench/elastic";
     case ArtifactKind::kUnknown: return "unknown";
   }
   return "?";
@@ -332,6 +334,77 @@ void check_bench_service(Checker& c, const util::JsonValue& base,
       });
 }
 
+// Elastic bench artifact. Everything in it runs on the simulated clock
+// (there is no wall clock in this artifact), so the decomposition timings
+// and the survive/bit-identical flags are deterministic. Retry/drop tallies
+// race message delivery inside the injector and are informational only —
+// recorded but never compared.
+void check_bench_elastic(Checker& c, const util::JsonValue& base,
+                         const util::JsonValue& cur) {
+  const std::string base_mode = base.get_string_or("mode", "");
+  const std::string cur_mode = cur.get_string_or("mode", "");
+  if (base_mode != cur_mode) {
+    c.note_regression("mode", 0.0, 0.0,
+                      "baseline mode '" + base_mode + "' vs current '" +
+                          cur_mode + "' — not comparable");
+    return;
+  }
+  const util::JsonValue empty;
+  const util::JsonValue* bh = base.find("heterogeneous");
+  const util::JsonValue* ch = cur.find("heterogeneous");
+  check_indexed(
+      c, "heterogeneous.cells",
+      index_by(bh != nullptr ? *bh : empty, "cells", {"solver"}),
+      index_by(ch != nullptr ? *ch : empty, "cells", {"solver"}),
+      [&](const std::string& key, const util::JsonValue& b,
+          const util::JsonValue& n) {
+        const std::string prefix = "heterogeneous.cells[" + key + "].";
+        c.slower_is_regression(prefix + "equal_seconds",
+                               b.get_number_or("equal_seconds", 0.0),
+                               n.get_number_or("equal_seconds", 0.0));
+        c.slower_is_regression(prefix + "weighted_seconds",
+                               b.get_number_or("weighted_seconds", 0.0),
+                               n.get_number_or("weighted_seconds", 0.0));
+        c.lower_is_regression(prefix + "speedup",
+                              b.get_number_or("speedup", 0.0),
+                              n.get_number_or("speedup", 0.0));
+        c.exact(prefix + "equal_iterations",
+                b.get_number_or("equal_iterations", 0.0),
+                n.get_number_or("equal_iterations", 0.0));
+        c.exact(prefix + "weighted_iterations",
+                b.get_number_or("weighted_iterations", 0.0),
+                n.get_number_or("weighted_iterations", 0.0));
+      });
+  const util::JsonValue* bf = base.find("faults");
+  const util::JsonValue* cf = cur.find("faults");
+  check_indexed(
+      c, "faults.cells",
+      index_by(bf != nullptr ? *bf : empty, "cells", {"seed"}),
+      index_by(cf != nullptr ? *cf : empty, "cells", {"seed"}),
+      [&](const std::string& key, const util::JsonValue& b,
+          const util::JsonValue& n) {
+        const std::string prefix = "faults.cells[" + key + "].";
+        c.exact(prefix + "survived", b.get_number_or("survived", 0.0),
+                n.get_number_or("survived", 0.0));
+        c.exact(prefix + "identical", b.get_number_or("identical", 0.0),
+                n.get_number_or("identical", 0.0));
+      });
+  const util::JsonValue* br = base.find("resume");
+  const util::JsonValue* cr = cur.find("resume");
+  check_indexed(
+      c, "resume.cells",
+      index_by(br != nullptr ? *br : empty, "cells",
+               {"solver", "from_ranks", "to_ranks"}),
+      index_by(cr != nullptr ? *cr : empty, "cells",
+               {"solver", "from_ranks", "to_ranks"}),
+      [&](const std::string& key, const util::JsonValue& b,
+          const util::JsonValue& n) {
+        c.exact("resume.cells[" + key + "].identical",
+                b.get_number_or("identical", 0.0),
+                n.get_number_or("identical", 0.0));
+      });
+}
+
 }  // namespace
 
 CheckResult check(const util::JsonValue& baseline,
@@ -359,6 +432,9 @@ CheckResult check(const util::JsonValue& baseline,
       break;
     case ArtifactKind::kBenchService:
       check_bench_service(c, baseline, current);
+      break;
+    case ArtifactKind::kBenchElastic:
+      check_bench_elastic(c, baseline, current);
       break;
     case ArtifactKind::kUnknown:
       break;
@@ -559,6 +635,41 @@ void analyze_bench_service(std::ostringstream& os,
   }
 }
 
+void analyze_bench_elastic(std::ostringstream& os,
+                           const util::JsonValue& doc) {
+  os << util::strf("elastic bench (mode %s)\n",
+                   doc.get_string_or("mode", "?").c_str());
+  if (const util::JsonValue* hetero = doc.find("heterogeneous")) {
+    const util::JsonValue* cells = hetero->find("cells");
+    if (cells != nullptr && cells->is_array() && !cells->as_array().empty()) {
+      os << util::strf("heterogeneous world: %.0f rank(s), %.0f^2 mesh\n",
+                       hetero->get_number_or("ranks", 0.0),
+                       hetero->get_number_or("mesh", 0.0));
+      util::Table table({"solver", "equal s", "weighted s", "speedup"});
+      for (const util::JsonValue& c : cells->as_array()) {
+        table.row({c.get_string_or("solver", "?"),
+                   util::strf("%.6f", c.get_number_or("equal_seconds", 0.0)),
+                   util::strf("%.6f",
+                              c.get_number_or("weighted_seconds", 0.0)),
+                   util::strf("%.3fx", c.get_number_or("speedup", 0.0))});
+      }
+      os << table.render();
+    }
+  }
+  const auto tally = [&os](const util::JsonValue* section, const char* what) {
+    if (section == nullptr) return;
+    const util::JsonValue* cells = section->find("cells");
+    if (cells == nullptr || !cells->is_array()) return;
+    std::size_t n = cells->as_array().size(), good = 0;
+    for (const util::JsonValue& c : cells->as_array()) {
+      if (c.get_number_or("identical", 0.0) != 0.0) ++good;
+    }
+    os << util::strf("%s: %zu/%zu cell(s) bit-identical\n", what, good, n);
+  };
+  tally(doc.find("faults"), "fault survival");
+  tally(doc.find("resume"), "kill-and-resume");
+}
+
 }  // namespace
 
 std::string analyze(const util::JsonValue& doc, const AnalyzeOptions& opt) {
@@ -573,6 +684,9 @@ std::string analyze(const util::JsonValue& doc, const AnalyzeOptions& opt) {
       break;
     case ArtifactKind::kBenchService:
       analyze_bench_service(os, doc);
+      break;
+    case ArtifactKind::kBenchElastic:
+      analyze_bench_elastic(os, doc);
       break;
     case ArtifactKind::kUnknown:
       os << "unknown artifact (no tl-report-1 schema or bench tag)\n";

@@ -3,7 +3,7 @@
 //
 // Works over parsed JSON documents so one code path handles every committed
 // artifact: tl-report-1 run reports, BENCH_fusion.json, BENCH_overlap.json,
-// BENCH_service.json.
+// BENCH_service.json, BENCH_elastic.json.
 // The regression policy is deliberately asymmetric: time-like metrics fail
 // only when the fresh value is *slower* than baseline by more than the
 // relative tolerance (improvements never fail, they are reported as such);
@@ -23,6 +23,7 @@ enum class ArtifactKind {
   kBenchFusion,   // "bench": "fusion"
   kBenchOverlap,  // "bench": "fig13_overlap"
   kBenchService,  // "bench": "service"
+  kBenchElastic,  // "bench": "elastic"
   kUnknown,
 };
 

@@ -263,6 +263,11 @@ ConformanceReport run_conformance(const VerifyOptions& options) {
   if (options.solvers.empty()) {
     throw std::invalid_argument("run_conformance: no solvers selected");
   }
+  if (!options.comm_perturb.empty() && options.ranks < 2) {
+    throw std::invalid_argument(
+        "run_conformance: comm_perturb needs ranks > 1 (there is no "
+        "communication to corrupt in a single-rank run)");
+  }
   ConformanceReport report;
   report.options = options;
 
@@ -352,13 +357,17 @@ ConformanceReport run_conformance(const VerifyOptions& options) {
                                     seed + static_cast<std::uint64_t>(rank));
           };
           dist::DistributedDriver driver(s, factory);
-          const dist::DistReport rep = driver.run();
+          dist::RunControl ctl;
+          ctl.comm_perturb = options.comm_perturb;
+          const dist::DistReport rep = driver.run(ctl);
           const GoldenRecord dist_rec = condense_dist(s, rep);
           append_record_checks(cell.metrics, dist_rec, ref.record, spec);
           cell.metrics.push_back(
               check_history(rep.run.steps.back().solve.rr_history,
                             ref.rr_history, spec, /*len_slack=*/1));
-          if (options.overlap) {
+          // The overlap-identity twin is meaningless under comm perturbation:
+          // set_comm_perturb forces the blocking path on both runs.
+          if (options.overlap && options.comm_perturb.empty()) {
             // Blocking twin with the same seeds: the overlapped pipeline may
             // reorder sweeps and defer completions, but every number it
             // produces must be the blocking number, bit for bit.

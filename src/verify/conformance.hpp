@@ -57,6 +57,13 @@ struct VerifyOptions {
   std::string perturb_kernel;
   double perturb_factor = 1.0 + 1e-6;
 
+  /// Comm-phase fault injection for the distributed cells (ranks > 1 only):
+  /// "halo_payload" corrupts one received halo cell in flight, "allreduce"
+  /// one rank's reduction contribution (dist::RunControl::comm_perturb).
+  /// The perturbed cells must FAIL against the clean single-rank reference —
+  /// the checker's proof that in-flight corruption is detected.
+  std::string comm_perturb;
+
   /// Solvers to check (defaults to the paper's three).
   std::vector<core::SolverKind> solvers{core::kAllSolvers.begin(),
                                         core::kAllSolvers.end()};

@@ -14,7 +14,10 @@
 // kernels themselves to the committed baselines; `--regen-golden FILE`
 // rewrites the baselines (a deliberate, reviewed act — see DESIGN.md §7).
 // `--perturb KERNEL` corrupts one reference kernel to prove the checker
-// fails when it should. `--ranks R` (R > 1) runs every cell decomposed over
+// fails when it should; the special targets `halo_payload` and `allreduce`
+// (with --ranks > 1) instead corrupt the distributed cells' communication in
+// flight, proving wire corruption is detected too. `--ranks R` (R > 1) runs
+// every cell decomposed over
 // R MiniComm ranks and asserts agreement with the 1-rank reference
 // (DESIGN.md §8). `--overlap on|off` (default on) controls the overlapped
 // halo pipeline for those decomposed cells; with it on, each cell also runs
@@ -77,7 +80,21 @@ int main(int argc, char** argv) {
   }
   opt.check_replay = !cli.has("no-replay");
   opt.golden_path = cli.get_or("golden", "");
-  opt.perturb_kernel = cli.get_or("perturb", "");
+  // --perturb names either a reference kernel (PerturbingKernels) or one of
+  // the comm-phase targets, which corrupt the distributed cells in flight.
+  const std::string perturb = cli.get_or("perturb", "");
+  if (perturb == "halo_payload" || perturb == "allreduce") {
+    if (opt.ranks < 2) {
+      std::fprintf(stderr,
+                   "tl_verify: --perturb %s needs --ranks > 1 (it corrupts "
+                   "inter-rank communication)\n",
+                   perturb.c_str());
+      return 2;
+    }
+    opt.comm_perturb = perturb;
+  } else {
+    opt.perturb_kernel = perturb;
+  }
 
   if (!parse_solvers(cli.get_or("solver", ""), opt.solvers)) {
     std::fprintf(stderr, "tl_verify: unknown --solver '%s'\n",
@@ -133,10 +150,13 @@ int main(int argc, char** argv) {
               opt.ranks > 1 ? (opt.overlap ? " (overlap on)" : " (overlap off)")
                             : "",
               static_cast<unsigned long long>(opt.seed),
-              opt.perturb_kernel.empty()
-                  ? ""
-                  : (" — PERTURBED reference kernel: " + opt.perturb_kernel)
-                        .c_str());
+              !opt.perturb_kernel.empty()
+                  ? (" — PERTURBED reference kernel: " + opt.perturb_kernel)
+                        .c_str()
+                  : !opt.comm_perturb.empty()
+                        ? (" — PERTURBED comm phase: " + opt.comm_perturb)
+                              .c_str()
+                        : "");
   std::fputs(verify::format_matrix(report).c_str(), stdout);
 
   if (cli.has("json")) {
