@@ -14,13 +14,20 @@
 //   * `*_scalar` — portable fallback with the identical chain assignment
 //                  and per-element association.
 //
-// The unsuffixed dispatchers pick SIMD when available. tests/test_fusion.cpp
-// asserts the two paths agree exactly, and per-element arithmetic follows
-// apply_stencil's association (diag = 1 + kxr + kxl + kyt + kyb) so the
-// fused results track the classic kernels as closely as FP reassociation of
-// the reductions allows. No FMA contraction happens in the SIMD path under
-// default flags (SSE2 has no FMA), keeping default builds reproducible
-// across gcc and clang.
+// Wider implementations (AVX2: the four chains in one 256-bit accumulator;
+// AVX-512: two 4-element groups per step folded low-then-high into the same
+// four chains) live in fused_rows_avx2.cpp / fused_rows_avx512.cpp, compiled
+// with their own ISA flags, and are reached only through the runtime
+// dispatch table in core/isa.hpp — callers never include ISA-specific code.
+// tests/test_fusion.cpp asserts scalar and SSE2 agree exactly;
+// tests/test_isa.cpp extends the bit-identity battery to every table entry
+// of every supported ISA. Per-element arithmetic follows each consuming
+// kernel's exact association — apply_stencil's (diag = 1 + kxr + kxl + kyt
+// + kyb) for the matvec rows, the fused iterates' (diag = 1 + kxl + kxr +
+// kyb + kyt) for the cheby/ppcg/jacobi rows — so the fused results track
+// the classic kernels bit-for-bit per path. No FMA contraction happens on
+// any path: SSE2 has no FMA, and the AVX TUs are compiled with -mno-fma
+// -ffp-contract=off, keeping all builds reproducible across gcc and clang.
 
 #include <cstddef>
 
@@ -148,6 +155,160 @@ inline double fused_residual_row_scalar(
   return combine_chains(crr);
 }
 
+/// Scalar 5-point stencil with the fused iterates' diag association
+/// (diag = 1 + kxl + kxr + kyb + kyt — the cheby/ppcg loop bodies' order,
+/// which differs from stencil_at's; both are preserved exactly per kernel).
+inline double stencil_at_fused(const double* __restrict v,
+                               const double* __restrict kx,
+                               const double* __restrict ky, std::size_t i,
+                               std::size_t width) {
+  const double kxl = kx[i], kxr = kx[i + 1];
+  const double kyb = ky[i], kyt = ky[i + width];
+  return (1.0 + kxl + kxr + kyb + kyt) * v[i] - kxr * v[i + 1] -
+         kxl * v[i - 1] - kyt * v[i + width] - kyb * v[i - width];
+}
+
+/// Chebyshev fused row: r = u0 - A u, p = a p + bt r, un = u + p (un is the
+/// w scratch; the caller swaps u <-> w after the sweep). No reduction.
+inline void cheby_row_scalar(const double* __restrict u,
+                             const double* __restrict u0,
+                             const double* __restrict kx,
+                             const double* __restrict ky, double* __restrict r,
+                             double* __restrict p, double* __restrict un,
+                             std::size_t b, std::size_t e, std::size_t width,
+                             double a, double bt) {
+  for (std::size_t i = b; i < e; ++i) {
+    const double res = u0[i] - stencil_at_fused(u, kx, ky, i, width);
+    r[i] = res;
+    const double pn = a * p[i] + bt * res;
+    p[i] = pn;
+    un[i] = u[i] + pn;
+  }
+}
+
+/// PPCG fused inner row: r -= A sd, u += sd, sn = a sd + bt r (sn is the w
+/// scratch; the caller swaps sd <-> w after the sweep). No reduction.
+inline void ppcg_row_scalar(const double* __restrict sd,
+                            const double* __restrict kx,
+                            const double* __restrict ky, double* __restrict u,
+                            double* __restrict r, double* __restrict sn,
+                            std::size_t b, std::size_t e, std::size_t width,
+                            double a, double bt) {
+  for (std::size_t i = b; i < e; ++i) {
+    const double rn = r[i] - stencil_at_fused(sd, kx, ky, i, width);
+    r[i] = rn;
+    u[i] += sd[i];
+    sn[i] = a * sd[i] + bt * rn;
+  }
+}
+
+/// Jacobi fused row: u = (u0 + k.w neighbours) / diag, w the previous
+/// iterate (the numerator's left-to-right association is the kernel's).
+inline void jacobi_row_scalar(const double* __restrict u0,
+                              const double* __restrict w,
+                              const double* __restrict kx,
+                              const double* __restrict ky,
+                              double* __restrict u, std::size_t b,
+                              std::size_t e, std::size_t width) {
+  for (std::size_t i = b; i < e; ++i) {
+    const double kxl = kx[i], kxr = kx[i + 1];
+    const double kyb = ky[i], kyt = ky[i + width];
+    const double diag = 1.0 + kxl + kxr + kyb + kyt;
+    u[i] = (u0[i] + kxr * w[i + 1] + kxl * w[i - 1] + kyt * w[i + width] +
+            kyb * w[i - width]) /
+           diag;
+  }
+}
+
+/// q = A v over one row (stencil_at's association). The pipelined CG matvec
+/// that overlaps the in-flight allreduce; no reduction rides along.
+inline void stencil_row_scalar(const double* __restrict v,
+                               const double* __restrict kx,
+                               const double* __restrict ky,
+                               double* __restrict q, std::size_t b,
+                               std::size_t e, std::size_t width) {
+  for (std::size_t i = b; i < e; ++i) {
+    q[i] = stencil_at(v, kx, ky, i, width);
+  }
+}
+
+/// Pipelined CG init row: w = A r, returning {r.r, w.r} in RowDots{pw, ww}.
+inline RowDots pipe_init_row_scalar(const double* __restrict r,
+                                    const double* __restrict kx,
+                                    const double* __restrict ky,
+                                    double* __restrict w, std::size_t b,
+                                    std::size_t e, std::size_t width) {
+  double crr[4] = {0.0, 0.0, 0.0, 0.0};
+  double crw[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = b;
+  for (; i + 4 <= e; i += 4) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double ar = stencil_at(r, kx, ky, i + c, width);
+      w[i + c] = ar;
+      crr[c] += r[i + c] * r[i + c];
+      crw[c] += ar * r[i + c];
+    }
+  }
+  for (; i < e; ++i) {
+    const double ar = stencil_at(r, kx, ky, i, width);
+    w[i] = ar;
+    crr[(i - b) & 3] += r[i] * r[i];
+    crw[(i - b) & 3] += ar * r[i];
+  }
+  return RowDots{combine_chains(crr), combine_chains(crw)};
+}
+
+/// Pipelined CG update row (Ghysels–Vanroose recurrences):
+///   z = q + bt z;  s = w + bt s;  p = r + bt p;
+///   u += a p;      r -= a s;      w -= a z;
+/// returning the next iteration's local dots {r.r, w.r} in RowDots{pw, ww}.
+inline RowDots pipe_update_row_scalar(double* __restrict z,
+                                      double* __restrict s,
+                                      double* __restrict p,
+                                      double* __restrict u,
+                                      double* __restrict r,
+                                      double* __restrict w,
+                                      const double* __restrict q,
+                                      std::size_t b, std::size_t e, double a,
+                                      double bt) {
+  double crr[4] = {0.0, 0.0, 0.0, 0.0};
+  double crw[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = b;
+  for (; i + 4 <= e; i += 4) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double zn = q[i + c] + bt * z[i + c];
+      z[i + c] = zn;
+      const double sn = w[i + c] + bt * s[i + c];
+      s[i + c] = sn;
+      const double pn = r[i + c] + bt * p[i + c];
+      p[i + c] = pn;
+      u[i + c] += a * pn;
+      const double rn = r[i + c] - a * sn;
+      r[i + c] = rn;
+      const double wn = w[i + c] - a * zn;
+      w[i + c] = wn;
+      crr[c] += rn * rn;
+      crw[c] += wn * rn;
+    }
+  }
+  for (; i < e; ++i) {
+    const double zn = q[i] + bt * z[i];
+    z[i] = zn;
+    const double sn = w[i] + bt * s[i];
+    s[i] = sn;
+    const double pn = r[i] + bt * p[i];
+    p[i] = pn;
+    u[i] += a * pn;
+    const double rn = r[i] - a * sn;
+    r[i] = rn;
+    const double wn = w[i] - a * zn;
+    w[i] = wn;
+    crr[(i - b) & 3] += rn * rn;
+    crw[(i - b) & 3] += wn * rn;
+  }
+  return RowDots{combine_chains(crr), combine_chains(crw)};
+}
+
 // -- SSE2 -------------------------------------------------------------------
 
 #if TL_FUSED_SIMD
@@ -272,43 +433,236 @@ inline double fused_residual_row_simd(
   return combine_chains(crr);
 }
 
+/// SSE2 stencil pair with the fused iterates' diag association (the SIMD
+/// twin of stencil_at_fused, as stencil2 is of stencil_at).
+inline __m128d stencil2_fused(const double* __restrict v,
+                              const double* __restrict kx,
+                              const double* __restrict ky, std::size_t i,
+                              std::size_t width) {
+  const __m128d kxl = _mm_loadu_pd(kx + i);
+  const __m128d kxr = _mm_loadu_pd(kx + i + 1);
+  const __m128d kyb = _mm_loadu_pd(ky + i);
+  const __m128d kyt = _mm_loadu_pd(ky + i + width);
+  const __m128d diag = _mm_add_pd(
+      _mm_add_pd(_mm_add_pd(_mm_add_pd(_mm_set1_pd(1.0), kxl), kxr), kyb),
+      kyt);
+  __m128d av = _mm_mul_pd(diag, _mm_loadu_pd(v + i));
+  av = _mm_sub_pd(av, _mm_mul_pd(kxr, _mm_loadu_pd(v + i + 1)));
+  av = _mm_sub_pd(av, _mm_mul_pd(kxl, _mm_loadu_pd(v + i - 1)));
+  av = _mm_sub_pd(av, _mm_mul_pd(kyt, _mm_loadu_pd(v + i + width)));
+  av = _mm_sub_pd(av, _mm_mul_pd(kyb, _mm_loadu_pd(v + i - width)));
+  return av;
+}
+
+inline void cheby_row_sse2(const double* __restrict u,
+                           const double* __restrict u0,
+                           const double* __restrict kx,
+                           const double* __restrict ky, double* __restrict r,
+                           double* __restrict p, double* __restrict un,
+                           std::size_t b, std::size_t e, std::size_t width,
+                           double a, double bt) {
+  const __m128d av = _mm_set1_pd(a);
+  const __m128d btv = _mm_set1_pd(bt);
+  std::size_t i = b;
+  for (; i + 2 <= e; i += 2) {
+    const __m128d res =
+        _mm_sub_pd(_mm_loadu_pd(u0 + i), stencil2_fused(u, kx, ky, i, width));
+    _mm_storeu_pd(r + i, res);
+    const __m128d pn = _mm_add_pd(_mm_mul_pd(av, _mm_loadu_pd(p + i)),
+                                  _mm_mul_pd(btv, res));
+    _mm_storeu_pd(p + i, pn);
+    _mm_storeu_pd(un + i, _mm_add_pd(_mm_loadu_pd(u + i), pn));
+  }
+  if (i < e) cheby_row_scalar(u, u0, kx, ky, r, p, un, i, e, width, a, bt);
+}
+
+inline void ppcg_row_sse2(const double* __restrict sd,
+                          const double* __restrict kx,
+                          const double* __restrict ky, double* __restrict u,
+                          double* __restrict r, double* __restrict sn,
+                          std::size_t b, std::size_t e, std::size_t width,
+                          double a, double bt) {
+  const __m128d av = _mm_set1_pd(a);
+  const __m128d btv = _mm_set1_pd(bt);
+  std::size_t i = b;
+  for (; i + 2 <= e; i += 2) {
+    const __m128d sdv = _mm_loadu_pd(sd + i);
+    const __m128d rn =
+        _mm_sub_pd(_mm_loadu_pd(r + i), stencil2_fused(sd, kx, ky, i, width));
+    _mm_storeu_pd(r + i, rn);
+    _mm_storeu_pd(u + i, _mm_add_pd(_mm_loadu_pd(u + i), sdv));
+    _mm_storeu_pd(sn + i,
+                  _mm_add_pd(_mm_mul_pd(av, sdv), _mm_mul_pd(btv, rn)));
+  }
+  if (i < e) ppcg_row_scalar(sd, kx, ky, u, r, sn, i, e, width, a, bt);
+}
+
+inline void jacobi_row_sse2(const double* __restrict u0,
+                            const double* __restrict w,
+                            const double* __restrict kx,
+                            const double* __restrict ky, double* __restrict u,
+                            std::size_t b, std::size_t e, std::size_t width) {
+  std::size_t i = b;
+  for (; i + 2 <= e; i += 2) {
+    const __m128d kxl = _mm_loadu_pd(kx + i);
+    const __m128d kxr = _mm_loadu_pd(kx + i + 1);
+    const __m128d kyb = _mm_loadu_pd(ky + i);
+    const __m128d kyt = _mm_loadu_pd(ky + i + width);
+    const __m128d diag = _mm_add_pd(
+        _mm_add_pd(_mm_add_pd(_mm_add_pd(_mm_set1_pd(1.0), kxl), kxr), kyb),
+        kyt);
+    __m128d num = _mm_add_pd(_mm_loadu_pd(u0 + i),
+                             _mm_mul_pd(kxr, _mm_loadu_pd(w + i + 1)));
+    num = _mm_add_pd(num, _mm_mul_pd(kxl, _mm_loadu_pd(w + i - 1)));
+    num = _mm_add_pd(num, _mm_mul_pd(kyt, _mm_loadu_pd(w + i + width)));
+    num = _mm_add_pd(num, _mm_mul_pd(kyb, _mm_loadu_pd(w + i - width)));
+    _mm_storeu_pd(u + i, _mm_div_pd(num, diag));
+  }
+  if (i < e) jacobi_row_scalar(u0, w, kx, ky, u, i, e, width);
+}
+
+inline void stencil_row_sse2(const double* __restrict v,
+                             const double* __restrict kx,
+                             const double* __restrict ky,
+                             double* __restrict q, std::size_t b,
+                             std::size_t e, std::size_t width) {
+  std::size_t i = b;
+  for (; i + 2 <= e; i += 2) {
+    _mm_storeu_pd(q + i, stencil2(v, kx, ky, i, width));
+  }
+  if (i < e) stencil_row_scalar(v, kx, ky, q, i, e, width);
+}
+
+inline RowDots pipe_init_row_sse2(const double* __restrict r,
+                                  const double* __restrict kx,
+                                  const double* __restrict ky,
+                                  double* __restrict w, std::size_t b,
+                                  std::size_t e, std::size_t width) {
+  double crr[4], crw[4];
+  __m128d rr01 = _mm_setzero_pd(), rr23 = _mm_setzero_pd();
+  __m128d rw01 = _mm_setzero_pd(), rw23 = _mm_setzero_pd();
+  std::size_t i = b;
+  for (; i + 4 <= e; i += 4) {
+    const __m128d ar01 = stencil2(r, kx, ky, i, width);
+    const __m128d ar23 = stencil2(r, kx, ky, i + 2, width);
+    _mm_storeu_pd(w + i, ar01);
+    _mm_storeu_pd(w + i + 2, ar23);
+    const __m128d r01 = _mm_loadu_pd(r + i);
+    const __m128d r23 = _mm_loadu_pd(r + i + 2);
+    rr01 = _mm_add_pd(rr01, _mm_mul_pd(r01, r01));
+    rr23 = _mm_add_pd(rr23, _mm_mul_pd(r23, r23));
+    rw01 = _mm_add_pd(rw01, _mm_mul_pd(ar01, r01));
+    rw23 = _mm_add_pd(rw23, _mm_mul_pd(ar23, r23));
+  }
+  _mm_storeu_pd(crr, rr01);
+  _mm_storeu_pd(crr + 2, rr23);
+  _mm_storeu_pd(crw, rw01);
+  _mm_storeu_pd(crw + 2, rw23);
+  for (; i < e; ++i) {
+    const double ar = stencil_at(r, kx, ky, i, width);
+    w[i] = ar;
+    crr[(i - b) & 3] += r[i] * r[i];
+    crw[(i - b) & 3] += ar * r[i];
+  }
+  return RowDots{combine_chains(crr), combine_chains(crw)};
+}
+
+inline RowDots pipe_update_row_sse2(double* __restrict z, double* __restrict s,
+                                    double* __restrict p, double* __restrict u,
+                                    double* __restrict r, double* __restrict w,
+                                    const double* __restrict q, std::size_t b,
+                                    std::size_t e, double a, double bt) {
+  double crr[4], crw[4];
+  const __m128d av = _mm_set1_pd(a);
+  const __m128d btv = _mm_set1_pd(bt);
+  __m128d rr01 = _mm_setzero_pd(), rr23 = _mm_setzero_pd();
+  __m128d rw01 = _mm_setzero_pd(), rw23 = _mm_setzero_pd();
+  std::size_t i = b;
+  for (; i + 4 <= e; i += 4) {
+    for (std::size_t o = 0; o < 4; o += 2) {
+      const __m128d rv = _mm_loadu_pd(r + i + o);
+      const __m128d wv = _mm_loadu_pd(w + i + o);
+      const __m128d zn = _mm_add_pd(_mm_loadu_pd(q + i + o),
+                                    _mm_mul_pd(btv, _mm_loadu_pd(z + i + o)));
+      _mm_storeu_pd(z + i + o, zn);
+      const __m128d sn =
+          _mm_add_pd(wv, _mm_mul_pd(btv, _mm_loadu_pd(s + i + o)));
+      _mm_storeu_pd(s + i + o, sn);
+      const __m128d pn =
+          _mm_add_pd(rv, _mm_mul_pd(btv, _mm_loadu_pd(p + i + o)));
+      _mm_storeu_pd(p + i + o, pn);
+      _mm_storeu_pd(u + i + o,
+                    _mm_add_pd(_mm_loadu_pd(u + i + o), _mm_mul_pd(av, pn)));
+      const __m128d rn = _mm_sub_pd(rv, _mm_mul_pd(av, sn));
+      _mm_storeu_pd(r + i + o, rn);
+      const __m128d wn = _mm_sub_pd(wv, _mm_mul_pd(av, zn));
+      _mm_storeu_pd(w + i + o, wn);
+      if (o == 0) {
+        rr01 = _mm_add_pd(rr01, _mm_mul_pd(rn, rn));
+        rw01 = _mm_add_pd(rw01, _mm_mul_pd(wn, rn));
+      } else {
+        rr23 = _mm_add_pd(rr23, _mm_mul_pd(rn, rn));
+        rw23 = _mm_add_pd(rw23, _mm_mul_pd(wn, rn));
+      }
+    }
+  }
+  _mm_storeu_pd(crr, rr01);
+  _mm_storeu_pd(crr + 2, rr23);
+  _mm_storeu_pd(crw, rw01);
+  _mm_storeu_pd(crw + 2, rw23);
+  for (; i < e; ++i) {
+    const double zn = q[i] + bt * z[i];
+    z[i] = zn;
+    const double sn = w[i] + bt * s[i];
+    s[i] = sn;
+    const double pn = r[i] + bt * p[i];
+    p[i] = pn;
+    u[i] += a * pn;
+    const double rn = r[i] - a * sn;
+    r[i] = rn;
+    const double wn = w[i] - a * zn;
+    w[i] = wn;
+    crr[(i - b) & 3] += rn * rn;
+    crw[(i - b) & 3] += wn * rn;
+  }
+  return RowDots{combine_chains(crr), combine_chains(crw)};
+}
+
+/// SSE2 twin of the serial fused_w_row_dots recompute (chains {0,1}/{2,3}
+/// in two 128-bit accumulators, positional tail).
+inline RowDots fused_w_row_dots_sse2(const double* __restrict p,
+                                     const double* __restrict w, std::size_t b,
+                                     std::size_t e) {
+  double cpw[4], cww[4];
+  __m128d pw01 = _mm_setzero_pd(), pw23 = _mm_setzero_pd();
+  __m128d ww01 = _mm_setzero_pd(), ww23 = _mm_setzero_pd();
+  std::size_t i = b;
+  for (; i + 4 <= e; i += 4) {
+    const __m128d ap01 = _mm_loadu_pd(w + i);
+    const __m128d ap23 = _mm_loadu_pd(w + i + 2);
+    pw01 = _mm_add_pd(pw01, _mm_mul_pd(ap01, _mm_loadu_pd(p + i)));
+    pw23 = _mm_add_pd(pw23, _mm_mul_pd(ap23, _mm_loadu_pd(p + i + 2)));
+    ww01 = _mm_add_pd(ww01, _mm_mul_pd(ap01, ap01));
+    ww23 = _mm_add_pd(ww23, _mm_mul_pd(ap23, ap23));
+  }
+  _mm_storeu_pd(cpw, pw01);
+  _mm_storeu_pd(cpw + 2, pw23);
+  _mm_storeu_pd(cww, ww01);
+  _mm_storeu_pd(cww + 2, ww23);
+  for (; i < e; ++i) {
+    const double ap = w[i];
+    cpw[(i - b) & 3] += ap * p[i];
+    cww[(i - b) & 3] += ap * ap;
+  }
+  return RowDots{combine_chains(cpw), combine_chains(cww)};
+}
+
 #endif  // TL_FUSED_SIMD
 
-// -- Dispatchers ------------------------------------------------------------
-
-inline RowDots fused_w_row(const double* __restrict p,
-                           const double* __restrict kx,
-                           const double* __restrict ky, double* __restrict w,
-                           std::size_t b, std::size_t e, std::size_t width) {
-#if TL_FUSED_SIMD
-  return fused_w_row_simd(p, kx, ky, w, b, e, width);
-#else
-  return fused_w_row_scalar(p, kx, ky, w, b, e, width);
-#endif
-}
-
-inline double fused_urp_row(double* __restrict u, double* __restrict r,
-                            double* __restrict p, const double* __restrict w,
-                            std::size_t b, std::size_t e, double a,
-                            double bp) {
-#if TL_FUSED_SIMD
-  return fused_urp_row_simd(u, r, p, w, b, e, a, bp);
-#else
-  return fused_urp_row_scalar(u, r, p, w, b, e, a, bp);
-#endif
-}
-
-inline double fused_residual_row(const double* __restrict u,
-                                 const double* __restrict u0,
-                                 const double* __restrict kx,
-                                 const double* __restrict ky,
-                                 double* __restrict r, std::size_t b,
-                                 std::size_t e, std::size_t width) {
-#if TL_FUSED_SIMD
-  return fused_residual_row_simd(u, u0, kx, ky, r, b, e, width);
-#else
-  return fused_residual_row_scalar(u, u0, kx, ky, r, b, e, width);
-#endif
-}
+// The unsuffixed dispatchers moved to the runtime ISA table: callers fetch
+// the active implementation set once per sweep via isa::active_row_table()
+// (core/isa.hpp), which selects scalar/SSE2/AVX2/AVX-512 by CPUID at first
+// use, overridable with TL_FORCE_ISA / Settings::force_isa. All entries of
+// every table are bit-identical to the `_scalar` functions above.
 
 }  // namespace tl::core::fused

@@ -1,0 +1,128 @@
+#pragma once
+// Runtime ISA dispatch for the fused row primitives.
+//
+// The hot sweeps in reference_kernels.cpp never call an ISA-specific function
+// directly: they fetch a RowKernelTable once per sweep via active_row_table()
+// and invoke its function pointers per row. The table is resolved once, at
+// first use, in priority order:
+//
+//   1. force_isa(...)        — programmatic override (Settings::force_isa,
+//                              threaded from the tl_force_isa deck key);
+//   2. TL_FORCE_ISA          — environment override (scalar|sse2|avx2|avx512;
+//                              unparseable values fall back to detection);
+//   3. CPUID auto-detection  — widest ISA the CPU supports.
+//
+// Forcing an ISA the CPU (or build) lacks degrades gracefully to scalar —
+// never to an illegal-instruction fault. Every table is bit-identical to the
+// scalar one (tests/test_isa.cpp enforces this per primitive, per tail
+// residue 0–7, on unaligned row starts), so dispatch is a pure speed choice.
+//
+// The AVX2/AVX-512 tables live in fused_rows_avx2.cpp / fused_rows_avx512.cpp
+// — the only translation units compiled with -mavx2 / -mavx512f. They keep
+// every helper in an anonymous namespace (no header inlines) so no
+// AVX-compiled symbol can leak into baseline code paths via the linker.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "fused_rows.hpp"
+
+namespace tl::core::isa {
+
+/// Instruction sets the fused row primitives are specialised for, narrowest
+/// first. On x86-64, kScalar and kSse2 are always available; kAvx2/kAvx512
+/// depend on the CPU. On other architectures only kScalar is available.
+enum class Isa {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+inline constexpr int kIsaCount = 4;
+
+/// One implementation set of every fused row primitive. All entries of all
+/// tables are bit-identical; they differ only in vector width.
+struct RowKernelTable {
+  /// w = A p over one row: returns {p.w, w.w}.
+  fused::RowDots (*w_row)(const double*, const double*, const double*,
+                          double*, std::size_t, std::size_t, std::size_t);
+  /// Recompute {p.w, w.w} from an already-written w row (region finish path).
+  fused::RowDots (*w_row_dots)(const double*, const double*, std::size_t,
+                               std::size_t);
+  /// u += a p; r -= a w; p = r + bp p: returns r.r.
+  double (*urp_row)(double*, double*, double*, const double*, std::size_t,
+                    std::size_t, double, double);
+  /// r = u0 - A u: returns r.r.
+  double (*residual_row)(const double*, const double*, const double*,
+                         const double*, double*, std::size_t, std::size_t,
+                         std::size_t);
+  /// Chebyshev fused row (u, u0, kx, ky, r, p, un, b, e, width, a, bt).
+  void (*cheby_row)(const double*, const double*, const double*,
+                    const double*, double*, double*, double*, std::size_t,
+                    std::size_t, std::size_t, double, double);
+  /// PPCG fused inner row (sd, kx, ky, u, r, sn, b, e, width, a, bt).
+  void (*ppcg_row)(const double*, const double*, const double*, double*,
+                   double*, double*, std::size_t, std::size_t, std::size_t,
+                   double, double);
+  /// Jacobi fused row (u0, w, kx, ky, u, b, e, width).
+  void (*jacobi_row)(const double*, const double*, const double*,
+                     const double*, double*, std::size_t, std::size_t,
+                     std::size_t);
+  /// q = A v plain stencil row (v, kx, ky, q, b, e, width).
+  void (*stencil_row)(const double*, const double*, const double*, double*,
+                      std::size_t, std::size_t, std::size_t);
+  /// Pipelined CG init row: w = A r, returns {r.r, w.r}.
+  fused::RowDots (*pipe_init_row)(const double*, const double*, const double*,
+                                  double*, std::size_t, std::size_t,
+                                  std::size_t);
+  /// Pipelined CG update row (z, s, p, u, r, w, q, b, e, a, bt): {r.r, w.r}.
+  fused::RowDots (*pipe_update_row)(double*, double*, double*, double*,
+                                    double*, double*, const double*,
+                                    std::size_t, std::size_t, double, double);
+};
+
+/// Canonical lower-case name ("scalar", "sse2", "avx2", "avx512").
+const char* isa_name(Isa isa);
+
+/// Parses an ISA name (as accepted by TL_FORCE_ISA / tl_force_isa).
+std::optional<Isa> parse_isa(const std::string& name);
+
+/// Doubles per 128/256/512-bit vector step: 1, 2, 4, 8.
+std::size_t isa_lanes(Isa isa);
+
+/// Elements consumed per unrolled accumulation group: 4 for scalar through
+/// AVX2 (one four-chain group), 8 for AVX-512 (two groups per step). Row
+/// tiling rounds to a multiple of this so rows are never split mid-vector.
+std::size_t isa_row_group(Isa isa);
+
+/// True when this build can execute the given ISA on this CPU.
+bool isa_available(Isa isa);
+
+/// Widest available ISA on this CPU (ignores overrides).
+Isa detect_best();
+
+/// Programmatic override (wins over TL_FORCE_ISA). Passing nullopt reverts
+/// to env/auto resolution. Resets the cached dispatch decision.
+void force_isa(std::optional<Isa> isa);
+
+/// The resolved ISA: forced -> TL_FORCE_ISA -> detect_best(), with
+/// unavailable forced choices degrading to kScalar. Cached after first call.
+Isa active_isa();
+
+/// Row table for the given ISA, or nullptr when it is unavailable in this
+/// build / on this CPU. Scalar and (on x86-64) SSE2 are never null.
+const RowKernelTable* row_table(Isa isa);
+
+/// Row table for active_isa(); never null.
+const RowKernelTable* active_row_table();
+
+/// Defined in fused_rows_avx2.cpp; returns nullptr when the translation unit
+/// was built without AVX2 support.
+const RowKernelTable* avx2_row_table();
+
+/// Defined in fused_rows_avx512.cpp; nullptr without AVX-512F support.
+const RowKernelTable* avx512_row_table();
+
+}  // namespace tl::core::isa

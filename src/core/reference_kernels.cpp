@@ -6,6 +6,7 @@
 
 #include "comm/halo.hpp"
 #include "core/fused_rows.hpp"
+#include "core/isa.hpp"
 
 namespace tl::core {
 
@@ -280,6 +281,7 @@ void ReferenceKernels::halo_update(unsigned fields, int depth) {
   if (fields & kMaskR) reflect(FieldId::kR);
   if (fields & kMaskDensity) reflect(FieldId::kDensity);
   if (fields & kMaskEnergy0) reflect(FieldId::kEnergy0);
+  if (fields & kMaskW) reflect(FieldId::kW);
 }
 
 void ReferenceKernels::calc_residual() {
@@ -500,12 +502,13 @@ void ReferenceKernels::download_energy(Chunk& chunk) {
 // Traversal: the interior rows are split into tiles whose working set
 // (nfields rows of the padded width) fits in half of an assumed 256 KiB L2;
 // tiles are claimed from the HostPool with the tile height as the grain.
-// The row sweeps themselves live in core/fused_rows.hpp: SSE2 on x86-64
-// with a bit-identical portable fallback, both accumulating dots in four
-// fixed chains c = (index in row) & 3 combined as (c0 + c2) + (c1 + c3).
-// Row sums land in per-row slots combined by a pairwise tree over the row
-// index — the result depends only on the mesh, never on thread count or
-// tile schedule.
+// The row sweeps themselves come from the runtime ISA dispatch table in
+// core/isa.hpp (scalar / SSE2 / AVX2 / AVX-512, selected by CPUID or
+// TL_FORCE_ISA); every table entry accumulates dots in four fixed chains
+// c = (index in row) & 3 combined as (c0 + c2) + (c1 + c3), so all ISAs
+// produce the same bits. Row sums land in per-row slots combined by a
+// pairwise tree over the row index — the result depends only on the mesh,
+// never on thread count, tile schedule, or dispatched ISA.
 // ---------------------------------------------------------------------------
 
 int ReferenceKernels::tile_rows(int nfields) const {
@@ -514,7 +517,15 @@ int ReferenceKernels::tile_rows(int nfields) const {
                                 static_cast<std::size_t>(nfields) *
                                 sizeof(double);
   const std::size_t rows = (kL2Bytes / 2) / std::max<std::size_t>(row_bytes, 1);
-  return static_cast<int>(std::clamp<std::size_t>(rows, 1, 64));
+  // Round the tile height to a whole number of unrolled accumulation groups
+  // (2 rows per 8-element AVX-512 group on odd-width meshes never happens —
+  // groups live within a row — but keeping tile heights a multiple of the
+  // group-to-chain ratio keeps tile/steal boundaries identical across ISAs
+  // of different widths, so the schedule is ISA-independent too).
+  const std::size_t align = std::max<std::size_t>(
+      isa::isa_row_group(isa::active_isa()) / 4, 1);
+  const std::size_t aligned = ((rows + align - 1) / align) * align;
+  return static_cast<int>(std::clamp<std::size_t>(aligned, align, 64));
 }
 
 CgFusedW ReferenceKernels::cg_calc_w_fused() {
@@ -527,6 +538,7 @@ CgFusedW ReferenceKernels::cg_calc_w_fused() {
   double* w_ = data(FieldId::kW);
   row_a_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
   row_b_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  const isa::RowKernelTable& t = *isa::active_row_table();
 
   pool_.parallel_for(
       h, h + mesh_.ny,
@@ -534,7 +546,7 @@ CgFusedW ReferenceKernels::cg_calc_w_fused() {
         for (std::int64_t y = yb; y < ye; ++y) {
           const std::size_t b = static_cast<std::size_t>(y) * width +
                                 static_cast<std::size_t>(h);
-          const fused::RowDots dots = fused::fused_w_row(
+          const fused::RowDots dots = t.w_row(
               p_, kx_, ky_, w_, b, b + static_cast<std::size_t>(nx), width);
           const std::size_t slot = static_cast<std::size_t>(y - h);
           row_a_[slot] = dots.pw;
@@ -558,6 +570,7 @@ double ReferenceKernels::cg_fused_ur_p(double alpha, double beta_prev) {
   double* p_ = data(FieldId::kP);
   const double* w_ = data(FieldId::kW);
   row_a_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  const isa::RowKernelTable& t = *isa::active_row_table();
 
   pool_.parallel_for(
       h, h + mesh_.ny,
@@ -565,7 +578,7 @@ double ReferenceKernels::cg_fused_ur_p(double alpha, double beta_prev) {
         for (std::int64_t y = yb; y < ye; ++y) {
           const std::size_t b = static_cast<std::size_t>(y) * width +
                                 static_cast<std::size_t>(h);
-          row_a_[static_cast<std::size_t>(y - h)] = fused::fused_urp_row(
+          row_a_[static_cast<std::size_t>(y - h)] = t.urp_row(
               u_, r_, p_, w_, b, b + static_cast<std::size_t>(nx), alpha,
               beta_prev);
         }
@@ -585,6 +598,7 @@ double ReferenceKernels::fused_residual_norm() {
   const double* ky_ = data(FieldId::kKy);
   double* r_ = data(FieldId::kR);
   row_a_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  const isa::RowKernelTable& t = *isa::active_row_table();
 
   pool_.parallel_for(
       h, h + mesh_.ny,
@@ -592,7 +606,7 @@ double ReferenceKernels::fused_residual_norm() {
         for (std::int64_t y = yb; y < ye; ++y) {
           const std::size_t b = static_cast<std::size_t>(y) * width +
                                 static_cast<std::size_t>(h);
-          row_a_[static_cast<std::size_t>(y - h)] = fused::fused_residual_row(
+          row_a_[static_cast<std::size_t>(y - h)] = t.residual_row(
               u_, u0_, kx_, ky_, r_, b, b + static_cast<std::size_t>(nx),
               width);
         }
@@ -618,34 +632,16 @@ void ReferenceKernels::cheby_fused_iterate(double alpha, double beta) {
   double* r_ = data(FieldId::kR);
   double* p_ = data(FieldId::kP);
   double* un_ = data(FieldId::kW);
+  const isa::RowKernelTable& t = *isa::active_row_table();
 
   pool_.parallel_for(
       h, h + mesh_.ny,
       [&](std::int64_t yb, std::int64_t ye) {
-        const double* __restrict u = u_;
-        const double* __restrict u0 = u0_;
-        const double* __restrict kx = kx_;
-        const double* __restrict ky = ky_;
-        double* __restrict r = r_;
-        double* __restrict p = p_;
-        double* __restrict un = un_;
-        const double a = alpha, bt = beta;
         for (std::int64_t y = yb; y < ye; ++y) {
-          const std::size_t row = static_cast<std::size_t>(y) * width;
-          const std::size_t b = row + static_cast<std::size_t>(h);
-          const std::size_t e = b + static_cast<std::size_t>(nx);
-          for (std::size_t i = b; i < e; ++i) {
-            const double kxl = kx[i], kxr = kx[i + 1];
-            const double kyb = ky[i], kyt = ky[i + width];
-            const double au = (1.0 + kxl + kxr + kyb + kyt) * u[i] -
-                              kxr * u[i + 1] - kxl * u[i - 1] -
-                              kyt * u[i + width] - kyb * u[i - width];
-            const double res = u0[i] - au;
-            r[i] = res;
-            const double pn = a * p[i] + bt * res;
-            p[i] = pn;
-            un[i] = u[i] + pn;
-          }
+          const std::size_t b = static_cast<std::size_t>(y) * width +
+                                static_cast<std::size_t>(h);
+          t.cheby_row(u_, u0_, kx_, ky_, r_, p_, un_, b,
+                      b + static_cast<std::size_t>(nx), width, alpha, beta);
         }
       },
       tile_rows(7));
@@ -667,32 +663,16 @@ void ReferenceKernels::ppcg_fused_inner(double alpha, double beta) {
   double* u_ = data(FieldId::kU);
   double* r_ = data(FieldId::kR);
   double* sn_ = data(FieldId::kW);
+  const isa::RowKernelTable& t = *isa::active_row_table();
 
   pool_.parallel_for(
       h, h + mesh_.ny,
       [&](std::int64_t yb, std::int64_t ye) {
-        const double* __restrict sd = sd_;
-        const double* __restrict kx = kx_;
-        const double* __restrict ky = ky_;
-        double* __restrict u = u_;
-        double* __restrict r = r_;
-        double* __restrict sn = sn_;
-        const double a = alpha, bt = beta;
         for (std::int64_t y = yb; y < ye; ++y) {
-          const std::size_t row = static_cast<std::size_t>(y) * width;
-          const std::size_t b = row + static_cast<std::size_t>(h);
-          const std::size_t e = b + static_cast<std::size_t>(nx);
-          for (std::size_t i = b; i < e; ++i) {
-            const double kxl = kx[i], kxr = kx[i + 1];
-            const double kyb = ky[i], kyt = ky[i + width];
-            const double asd = (1.0 + kxl + kxr + kyb + kyt) * sd[i] -
-                               kxr * sd[i + 1] - kxl * sd[i - 1] -
-                               kyt * sd[i + width] - kyb * sd[i - width];
-            const double rn = r[i] - asd;
-            r[i] = rn;
-            u[i] += sd[i];
-            sn[i] = a * sd[i] + bt * rn;
-          }
+          const std::size_t b = static_cast<std::size_t>(y) * width +
+                                static_cast<std::size_t>(h);
+          t.ppcg_row(sd_, kx_, ky_, u_, r_, sn_, b,
+                     b + static_cast<std::size_t>(nx), width, alpha, beta);
         }
       },
       tile_rows(6));
@@ -714,30 +694,119 @@ void ReferenceKernels::jacobi_fused_copy_iterate() {
   const double* kx_ = data(FieldId::kKx);
   const double* ky_ = data(FieldId::kKy);
   double* u_ = data(FieldId::kU);
+  const isa::RowKernelTable& t = *isa::active_row_table();
 
   pool_.parallel_for(
       h, h + mesh_.ny,
       [&](std::int64_t yb, std::int64_t ye) {
-        const double* __restrict u0 = u0_;
-        const double* __restrict w = w_;
-        const double* __restrict kx = kx_;
-        const double* __restrict ky = ky_;
-        double* __restrict u = u_;
         for (std::int64_t y = yb; y < ye; ++y) {
-          const std::size_t row = static_cast<std::size_t>(y) * width;
-          const std::size_t b = row + static_cast<std::size_t>(h);
-          const std::size_t e = b + static_cast<std::size_t>(nx);
-          for (std::size_t i = b; i < e; ++i) {
-            const double kxl = kx[i], kxr = kx[i + 1];
-            const double kyb = ky[i], kyt = ky[i + width];
-            const double diag = 1.0 + kxl + kxr + kyb + kyt;
-            u[i] = (u0[i] + kxr * w[i + 1] + kxl * w[i - 1] +
-                    kyt * w[i + width] + kyb * w[i - width]) /
-                   diag;
-          }
+          const std::size_t b = static_cast<std::size_t>(y) * width +
+                                static_cast<std::size_t>(h);
+          t.jacobi_row(u0_, w_, kx_, ky_, u_, b,
+                       b + static_cast<std::size_t>(nx), width);
         }
       },
       tile_rows(5));
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined CG (kCapPipelined): same traversal scheme as the fused kernels —
+// HostPool row tiles dispatched through the ISA table, per-row dot slots
+// folded by the pairwise tree — so the recurrences are bit-identical for any
+// thread count and any dispatched ISA.
+// ---------------------------------------------------------------------------
+
+CgPipeDots ReferenceKernels::cg_pipe_init() {
+  const int h = mesh_.halo_depth;
+  const int nx = mesh_.nx;
+  const std::size_t width = static_cast<std::size_t>(mesh_.padded_nx());
+  const double* r_ = data(FieldId::kR);
+  const double* kx_ = data(FieldId::kKx);
+  const double* ky_ = data(FieldId::kKy);
+  double* w_ = data(FieldId::kW);
+  row_a_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  row_b_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  const isa::RowKernelTable& t = *isa::active_row_table();
+
+  pool_.parallel_for(
+      h, h + mesh_.ny,
+      [&](std::int64_t yb, std::int64_t ye) {
+        for (std::int64_t y = yb; y < ye; ++y) {
+          const std::size_t b = static_cast<std::size_t>(y) * width +
+                                static_cast<std::size_t>(h);
+          const fused::RowDots dots = t.pipe_init_row(
+              r_, kx_, ky_, w_, b, b + static_cast<std::size_t>(nx), width);
+          const std::size_t slot = static_cast<std::size_t>(y - h);
+          row_a_[slot] = dots.pw;  // r.r
+          row_b_[slot] = dots.ww;  // w.r
+        }
+      },
+      tile_rows(4));
+
+  CgPipeDots out;
+  out.rr = pairwise_sum(row_a_.data(), mesh_.ny);
+  out.rw = pairwise_sum(row_b_.data(), mesh_.ny);
+  return out;
+}
+
+void ReferenceKernels::cg_pipe_calc_q() {
+  const int h = mesh_.halo_depth;
+  const int nx = mesh_.nx;
+  const std::size_t width = static_cast<std::size_t>(mesh_.padded_nx());
+  const double* w_ = data(FieldId::kW);
+  const double* kx_ = data(FieldId::kKx);
+  const double* ky_ = data(FieldId::kKy);
+  double* q_ = data(FieldId::kQ);
+  const isa::RowKernelTable& t = *isa::active_row_table();
+
+  pool_.parallel_for(
+      h, h + mesh_.ny,
+      [&](std::int64_t yb, std::int64_t ye) {
+        for (std::int64_t y = yb; y < ye; ++y) {
+          const std::size_t b = static_cast<std::size_t>(y) * width +
+                                static_cast<std::size_t>(h);
+          t.stencil_row(w_, kx_, ky_, q_, b, b + static_cast<std::size_t>(nx),
+                        width);
+        }
+      },
+      tile_rows(3));
+}
+
+CgPipeDots ReferenceKernels::cg_pipe_update(double alpha, double beta) {
+  const int h = mesh_.halo_depth;
+  const int nx = mesh_.nx;
+  const std::size_t width = static_cast<std::size_t>(mesh_.padded_nx());
+  double* z_ = data(FieldId::kZ);
+  double* s_ = data(FieldId::kSd);  // s lives in the unused kSd slot
+  double* p_ = data(FieldId::kP);
+  double* u_ = data(FieldId::kU);
+  double* r_ = data(FieldId::kR);
+  double* w_ = data(FieldId::kW);
+  const double* q_ = data(FieldId::kQ);
+  row_a_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  row_b_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  const isa::RowKernelTable& t = *isa::active_row_table();
+
+  pool_.parallel_for(
+      h, h + mesh_.ny,
+      [&](std::int64_t yb, std::int64_t ye) {
+        for (std::int64_t y = yb; y < ye; ++y) {
+          const std::size_t b = static_cast<std::size_t>(y) * width +
+                                static_cast<std::size_t>(h);
+          const fused::RowDots dots = t.pipe_update_row(
+              z_, s_, p_, u_, r_, w_, q_, b, b + static_cast<std::size_t>(nx),
+              alpha, beta);
+          const std::size_t slot = static_cast<std::size_t>(y - h);
+          row_a_[slot] = dots.pw;  // r.r
+          row_b_[slot] = dots.ww;  // w.r
+        }
+      },
+      tile_rows(7));
+
+  CgPipeDots out;
+  out.rr = pairwise_sum(row_a_.data(), mesh_.ny);
+  out.rw = pairwise_sum(row_b_.data(), mesh_.ny);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -793,11 +862,12 @@ CgFusedW ReferenceKernels::cg_calc_w_fused_region_finish() {
   const double* w_ = data(FieldId::kW);
   row_a_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
   row_b_.assign(static_cast<std::size_t>(mesh_.ny), 0.0);
+  const isa::RowKernelTable& t = *isa::active_row_table();
   for (int y = h; y < h + mesh_.ny; ++y) {
     const std::size_t b = static_cast<std::size_t>(y) * width +
                           static_cast<std::size_t>(h);
     const fused::RowDots dots =
-        fused::fused_w_row_dots(p_, w_, b, b + static_cast<std::size_t>(nx));
+        t.w_row_dots(p_, w_, b, b + static_cast<std::size_t>(nx));
     const std::size_t slot = static_cast<std::size_t>(y - h);
     row_a_[slot] = dots.pw;
     row_b_[slot] = dots.ww;

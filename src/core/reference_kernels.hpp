@@ -45,13 +45,21 @@ class ReferenceKernels final : public SolverKernels {
   void jacobi_copy_u() override;
   void jacobi_iterate() override;
 
-  unsigned caps() const override { return kAllKernelCaps | kCapRegions; }
+  unsigned caps() const override {
+    return kAllKernelCaps | kCapRegions | kCapPipelined;
+  }
   CgFusedW cg_calc_w_fused() override;
   double cg_fused_ur_p(double alpha, double beta_prev) override;
   double fused_residual_norm() override;
   void cheby_fused_iterate(double alpha, double beta) override;
   void ppcg_fused_inner(double alpha, double beta) override;
   void jacobi_fused_copy_iterate() override;
+
+  // Pipelined CG (kCapPipelined): HostPool row tiles through the ISA
+  // dispatch table, like the fused kernels; the dots fold pairwise per row.
+  CgPipeDots cg_pipe_init() override;
+  void cg_pipe_calc_q() override;
+  CgPipeDots cg_pipe_update(double alpha, double beta) override;
 
   // Region sweeps for the overlapped halo pipeline (kCapRegions). Sweeps run
   // serially (the oracle meters nothing); reductions are recomputed in the

@@ -19,11 +19,12 @@
 namespace tl::telemetry {
 
 enum class ArtifactKind {
-  kRunReport,     // "schema": "tl-report-1"
-  kBenchFusion,   // "bench": "fusion"
-  kBenchOverlap,  // "bench": "fig13_overlap"
-  kBenchService,  // "bench": "service"
-  kBenchElastic,  // "bench": "elastic"
+  kRunReport,      // "schema": "tl-report-1"
+  kBenchFusion,    // "bench": "fusion"
+  kBenchOverlap,   // "bench": "fig13_overlap"
+  kBenchPipeline,  // "bench": "pipeline" (classic vs pipelined CG)
+  kBenchService,   // "bench": "service"
+  kBenchElastic,   // "bench": "elastic"
   kUnknown,
 };
 

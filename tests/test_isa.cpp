@@ -1,0 +1,325 @@
+// Runtime ISA dispatch: the contract that vector width is a pure speed
+// choice. Every available row-kernel table (sse2/avx2/avx512) must be
+// bit-identical to the scalar one for every primitive, every tail residue,
+// and unaligned row starts; TL_FORCE_ISA / force_isa must select the table
+// they name (degrading to scalar, never faulting, when the CPU or build
+// lacks it); and a whole CG solve — classic and pipelined — must produce
+// bit-identical results under every forced ISA.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/isa.hpp"
+#include "core/reference_kernels.hpp"
+#include "core/settings.hpp"
+#include "models/host_pool.hpp"
+
+using namespace tl;
+using core::isa::Isa;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-primitive bit-identity against the scalar table
+// ---------------------------------------------------------------------------
+
+/// Deterministic positive test data, same generator as test_fusion.cpp.
+struct RowArrays {
+  std::vector<double> a, b, c, d, e, f, g;
+  explicit RowArrays(std::size_t n) : a(n), b(n), c(n), d(n), e(n), f(n), g(n) {
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    auto next = [&s] {
+      s ^= s << 13;
+      s ^= s >> 7;
+      s ^= s << 17;
+      return 0.5 + static_cast<double>(s % 1000) * 1e-3;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = next();
+      b[i] = next();
+      c[i] = next();
+      d[i] = next();
+      e[i] = next();
+      f[i] = next();
+      g[i] = next();
+    }
+  }
+};
+
+/// Every non-scalar table that exists in this build on this CPU.
+std::vector<Isa> available_wide_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : {Isa::kSse2, Isa::kAvx2, Isa::kAvx512}) {
+    if (core::isa::row_table(isa) != nullptr) out.push_back(isa);
+  }
+  return out;
+}
+
+/// Runs every primitive of `table` against the scalar table over rows at
+/// `base..base+len` (len sweeps every tail residue past a full AVX-512
+/// step) and asserts outputs and mutated arrays bit-identical.
+void expect_table_matches_scalar(const core::isa::RowKernelTable& table,
+                                 const std::string& tag, std::size_t width,
+                                 std::size_t base, std::size_t len) {
+  const core::isa::RowKernelTable& ref = *core::isa::row_table(Isa::kScalar);
+  const std::string what =
+      tag + " width=" + std::to_string(width) + " base=" +
+      std::to_string(base) + " len=" + std::to_string(len);
+  RowArrays m(width * 8);
+  const std::size_t e = base + len;
+
+  {  // w_row: w = A p plus {p.w, w.w}
+    std::vector<double> w1 = m.e, w2 = m.e;
+    const auto d1 = table.w_row(m.a.data(), m.b.data(), m.c.data(), w1.data(),
+                                base, e, width);
+    const auto d2 = ref.w_row(m.a.data(), m.b.data(), m.c.data(), w2.data(),
+                              base, e, width);
+    EXPECT_EQ(d1.pw, d2.pw) << what << " w_row pw";
+    EXPECT_EQ(d1.ww, d2.ww) << what << " w_row ww";
+    EXPECT_EQ(w1, w2) << what << " w_row w";
+  }
+  {  // w_row_dots: recompute the dots from a written w row
+    const auto d1 = table.w_row_dots(m.a.data(), m.e.data(), base, e);
+    const auto d2 = ref.w_row_dots(m.a.data(), m.e.data(), base, e);
+    EXPECT_EQ(d1.pw, d2.pw) << what << " w_row_dots pw";
+    EXPECT_EQ(d1.ww, d2.ww) << what << " w_row_dots ww";
+  }
+  {  // urp_row: u += a p; r -= a w; p = r + bp p; returns r.r
+    std::vector<double> u1 = m.a, r1 = m.b, p1 = m.c;
+    std::vector<double> u2 = m.a, r2 = m.b, p2 = m.c;
+    const double rr1 = table.urp_row(u1.data(), r1.data(), p1.data(),
+                                     m.d.data(), base, e, 0.37, 0.61);
+    const double rr2 = ref.urp_row(u2.data(), r2.data(), p2.data(),
+                                   m.d.data(), base, e, 0.37, 0.61);
+    EXPECT_EQ(rr1, rr2) << what << " urp_row rr";
+    EXPECT_EQ(u1, u2) << what << " urp_row u";
+    EXPECT_EQ(r1, r2) << what << " urp_row r";
+    EXPECT_EQ(p1, p2) << what << " urp_row p";
+  }
+  {  // residual_row: r = u0 - A u; returns r.r
+    std::vector<double> r1 = m.e, r2 = m.e;
+    const double rr1 = table.residual_row(m.a.data(), m.b.data(), m.c.data(),
+                                          m.d.data(), r1.data(), base, e,
+                                          width);
+    const double rr2 = ref.residual_row(m.a.data(), m.b.data(), m.c.data(),
+                                        m.d.data(), r2.data(), base, e, width);
+    EXPECT_EQ(rr1, rr2) << what << " residual_row rr";
+    EXPECT_EQ(r1, r2) << what << " residual_row r";
+  }
+  {  // cheby_row
+    std::vector<double> r1 = m.e, p1 = m.f, un1 = m.g;
+    std::vector<double> r2 = m.e, p2 = m.f, un2 = m.g;
+    table.cheby_row(m.a.data(), m.b.data(), m.c.data(), m.d.data(), r1.data(),
+                    p1.data(), un1.data(), base, e, width, 0.8, 0.3);
+    ref.cheby_row(m.a.data(), m.b.data(), m.c.data(), m.d.data(), r2.data(),
+                  p2.data(), un2.data(), base, e, width, 0.8, 0.3);
+    EXPECT_EQ(r1, r2) << what << " cheby_row r";
+    EXPECT_EQ(p1, p2) << what << " cheby_row p";
+    EXPECT_EQ(un1, un2) << what << " cheby_row un";
+  }
+  {  // ppcg_row
+    std::vector<double> u1 = m.d, r1 = m.e, sn1 = m.f;
+    std::vector<double> u2 = m.d, r2 = m.e, sn2 = m.f;
+    table.ppcg_row(m.a.data(), m.b.data(), m.c.data(), u1.data(), r1.data(),
+                   sn1.data(), base, e, width, 0.8, 0.3);
+    ref.ppcg_row(m.a.data(), m.b.data(), m.c.data(), u2.data(), r2.data(),
+                 sn2.data(), base, e, width, 0.8, 0.3);
+    EXPECT_EQ(u1, u2) << what << " ppcg_row u";
+    EXPECT_EQ(r1, r2) << what << " ppcg_row r";
+    EXPECT_EQ(sn1, sn2) << what << " ppcg_row sn";
+  }
+  {  // jacobi_row
+    std::vector<double> u1 = m.e, u2 = m.e;
+    table.jacobi_row(m.a.data(), m.b.data(), m.c.data(), m.d.data(), u1.data(),
+                     base, e, width);
+    ref.jacobi_row(m.a.data(), m.b.data(), m.c.data(), m.d.data(), u2.data(),
+                   base, e, width);
+    EXPECT_EQ(u1, u2) << what << " jacobi_row u";
+  }
+  {  // stencil_row: q = A v
+    std::vector<double> q1 = m.e, q2 = m.e;
+    table.stencil_row(m.a.data(), m.b.data(), m.c.data(), q1.data(), base, e,
+                      width);
+    ref.stencil_row(m.a.data(), m.b.data(), m.c.data(), q2.data(), base, e,
+                    width);
+    EXPECT_EQ(q1, q2) << what << " stencil_row q";
+  }
+  {  // pipe_init_row: w = A r plus {r.r, w.r}
+    std::vector<double> w1 = m.e, w2 = m.e;
+    const auto d1 = table.pipe_init_row(m.a.data(), m.b.data(), m.c.data(),
+                                        w1.data(), base, e, width);
+    const auto d2 = ref.pipe_init_row(m.a.data(), m.b.data(), m.c.data(),
+                                      w2.data(), base, e, width);
+    EXPECT_EQ(d1.pw, d2.pw) << what << " pipe_init_row rr";
+    EXPECT_EQ(d1.ww, d2.ww) << what << " pipe_init_row rw";
+    EXPECT_EQ(w1, w2) << what << " pipe_init_row w";
+  }
+  {  // pipe_update_row: the six-field recurrence plus {r.r, w.r}
+    std::vector<double> z1 = m.a, s1 = m.b, p1 = m.c, u1 = m.d, r1 = m.e,
+                        w1 = m.f;
+    std::vector<double> z2 = m.a, s2 = m.b, p2 = m.c, u2 = m.d, r2 = m.e,
+                        w2 = m.f;
+    const auto d1 =
+        table.pipe_update_row(z1.data(), s1.data(), p1.data(), u1.data(),
+                              r1.data(), w1.data(), m.g.data(), base, e, 0.37,
+                              0.61);
+    const auto d2 =
+        ref.pipe_update_row(z2.data(), s2.data(), p2.data(), u2.data(),
+                            r2.data(), w2.data(), m.g.data(), base, e, 0.37,
+                            0.61);
+    EXPECT_EQ(d1.pw, d2.pw) << what << " pipe_update_row rr";
+    EXPECT_EQ(d1.ww, d2.ww) << what << " pipe_update_row rw";
+    EXPECT_EQ(z1, z2) << what << " pipe_update_row z";
+    EXPECT_EQ(s1, s2) << what << " pipe_update_row s";
+    EXPECT_EQ(p1, p2) << what << " pipe_update_row p";
+    EXPECT_EQ(u1, u2) << what << " pipe_update_row u";
+    EXPECT_EQ(r1, r2) << what << " pipe_update_row r";
+    EXPECT_EQ(w1, w2) << what << " pipe_update_row w";
+  }
+}
+
+TEST(IsaTables, EveryAvailableTableMatchesScalarBitwise) {
+  const std::vector<Isa> wide = available_wide_isas();
+  ASSERT_FALSE(wide.empty()) << "SSE2 must exist on x86-64 builds";
+  for (const Isa isa : wide) {
+    const core::isa::RowKernelTable* table = core::isa::row_table(isa);
+    ASSERT_NE(table, nullptr);
+    for (const std::size_t width : {std::size_t{37}, std::size_t{41}}) {
+      // Unaligned starts (offset sweeps the vector-lane phase) x every tail
+      // residue through one full AVX-512 step plus change.
+      for (const std::size_t offset : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{2}, std::size_t{3}}) {
+        for (std::size_t len = 0; len <= 19; ++len) {
+          expect_table_matches_scalar(*table, core::isa::isa_name(isa), width,
+                                      width * 3 + offset, len);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: force_isa / TL_FORCE_ISA resolution and graceful fallback
+// ---------------------------------------------------------------------------
+
+/// Restores clean resolution state around every dispatch test.
+class IsaDispatchTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("TL_FORCE_ISA");
+    core::isa::force_isa(std::nullopt);
+  }
+  void TearDown() override {
+    ::unsetenv("TL_FORCE_ISA");
+    core::isa::force_isa(std::nullopt);
+  }
+};
+
+TEST_F(IsaDispatchTest, ParseRoundTripsEveryName) {
+  for (int i = 0; i < core::isa::kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    const auto parsed = core::isa::parse_isa(core::isa::isa_name(isa));
+    ASSERT_TRUE(parsed.has_value()) << core::isa::isa_name(isa);
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(core::isa::parse_isa("").has_value());
+  EXPECT_FALSE(core::isa::parse_isa("avx9000").has_value());
+}
+
+TEST_F(IsaDispatchTest, ForceSelectsTheNamedTableOrScalar) {
+  for (int i = 0; i < core::isa::kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    core::isa::force_isa(isa);
+    const Isa expect =
+        core::isa::row_table(isa) != nullptr ? isa : Isa::kScalar;
+    EXPECT_EQ(core::isa::active_isa(), expect) << core::isa::isa_name(isa);
+    EXPECT_EQ(core::isa::active_row_table(), core::isa::row_table(expect));
+  }
+}
+
+TEST_F(IsaDispatchTest, EnvSelectsAndProgrammaticForceWins) {
+  ::setenv("TL_FORCE_ISA", "sse2", 1);
+  core::isa::force_isa(std::nullopt);  // reset the cached decision
+  EXPECT_EQ(core::isa::active_isa(), Isa::kSse2);
+
+  // Programmatic force outranks the environment.
+  core::isa::force_isa(Isa::kScalar);
+  EXPECT_EQ(core::isa::active_isa(), Isa::kScalar);
+}
+
+TEST_F(IsaDispatchTest, UnparseableEnvFallsBackToDetection) {
+  ::setenv("TL_FORCE_ISA", "not-an-isa", 1);
+  core::isa::force_isa(std::nullopt);
+  EXPECT_EQ(core::isa::active_isa(), core::isa::detect_best());
+}
+
+TEST_F(IsaDispatchTest, ActiveTableIsNeverNull) {
+  for (int i = 0; i < core::isa::kIsaCount; ++i) {
+    core::isa::force_isa(static_cast<Isa>(i));
+    EXPECT_NE(core::isa::active_row_table(), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grain heuristic: ISA-width-aware alignment
+// ---------------------------------------------------------------------------
+
+TEST(IsaGrain, DefaultGrainRoundsUpToTheIsaGroup) {
+  using models::HostPool;
+  // Explicit grains are honoured exactly, aligned or not.
+  EXPECT_EQ(HostPool::effective_grain(1000, 7, 8), 7);
+  // Default grains round up to the requested alignment so chunk boundaries
+  // never split an accumulation group mid-vector.
+  for (const std::int64_t align : {1, 4, 8}) {
+    const std::int64_t g = HostPool::effective_grain(1000, 0, align);
+    EXPECT_GT(g, 0);
+    EXPECT_EQ(g % align, 0) << "align=" << align;
+  }
+  // Tiny ranges still get a positive grain.
+  EXPECT_EQ(HostPool::effective_grain(3, 0, 8), 8);
+  // The row groups the reference kernels actually pass are 4 and 8.
+  EXPECT_EQ(core::isa::isa_row_group(Isa::kScalar), 4u);
+  EXPECT_EQ(core::isa::isa_row_group(Isa::kAvx512), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-solve invariance: classic and pipelined CG bit-identical under every
+// forced ISA (histories and residuals, not just per-row outputs).
+// ---------------------------------------------------------------------------
+
+core::StepReport run_cg(bool pipelined) {
+  core::Settings s = core::Settings::default_problem();
+  s.nx = s.ny = 40;
+  s.solver = core::SolverKind::kCg;
+  s.use_pipelined = pipelined;
+  core::Driver driver(s, std::make_unique<core::ReferenceKernels>(
+                             core::Mesh(s.nx, s.ny, s.halo_depth)));
+  return driver.run_step();
+}
+
+TEST_F(IsaDispatchTest, CgSolveBitIdenticalUnderEveryForcedIsa) {
+  for (const bool pipelined : {false, true}) {
+    core::isa::force_isa(Isa::kScalar);
+    const core::StepReport base = run_cg(pipelined);
+    EXPECT_TRUE(base.solve.converged);
+    for (const Isa isa : available_wide_isas()) {
+      core::isa::force_isa(isa);
+      const core::StepReport got = run_cg(pipelined);
+      const std::string tag = std::string(core::isa::isa_name(isa)) +
+                              (pipelined ? " pipelined" : " classic");
+      EXPECT_EQ(got.solve.iterations, base.solve.iterations) << tag;
+      EXPECT_EQ(got.solve.final_rr, base.solve.final_rr) << tag;
+      EXPECT_EQ(got.solve.rr_history, base.solve.rr_history) << tag;
+      EXPECT_EQ(got.summary.internal_energy, base.summary.internal_energy)
+          << tag;
+      EXPECT_EQ(got.summary.temperature, base.summary.temperature) << tag;
+    }
+  }
+}
+
+}  // namespace
