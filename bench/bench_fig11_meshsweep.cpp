@@ -4,6 +4,12 @@
 // OpenCL-KNC start with high intercepts (per-launch overheads) that amortise
 // with size; CPU models lead until ~9e5 cells then bend (LLC saturation);
 // GPU series stay near-linear.
+//
+// Observability flags (strictly additive; default output is unchanged):
+//   --smoke         CI fast path: short calibration ladder, first three
+//                   meshes only (CSV not golden-comparable)
+//   --report=FILE   tl-report-1 run report + sibling .om OpenMetrics export
+//                   (first CPU figure model at the sweep's largest mesh)
 
 #include <cstdio>
 #include <string>
@@ -15,12 +21,15 @@
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tl;
-  bench::Harness harness;
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  bench::Harness harness(opts.smoke ? bench::smoke_ladder()
+                                    : std::vector<int>{});
 
-  std::printf("== Figure 11: runtime vs mesh size (even cell-count steps) ==\n"
-              "(CG solver, simulated seconds, lower is better)\n\n");
+  std::printf("== Figure 11: runtime vs mesh size (even cell-count steps) ==%s\n"
+              "(CG solver, simulated seconds, lower is better)\n\n",
+              opts.smoke ? " — SMOKE MODE" : "");
   harness.print_calibration();
 
   struct Series {
@@ -34,7 +43,8 @@ int main() {
     }
   }
 
-  const std::vector<int> meshes = bench::Harness::fig11_meshes();
+  std::vector<int> meshes = bench::Harness::fig11_meshes();
+  if (opts.smoke && meshes.size() > 3) meshes.resize(3);
   util::CsvWriter csv("fig11_meshsweep.csv",
                       {"model", "device", "nx", "cells", "seconds"});
 
@@ -61,5 +71,11 @@ int main() {
   }
   table.print();
   std::printf("\nCSV written to fig11_meshsweep.csv\n");
+
+  if (!opts.report_path.empty() && !series.empty()) {
+    bench::write_figure_report(harness, series.front().model,
+                               series.front().device, meshes.back(),
+                               "bench_fig11_meshsweep", opts.report_path);
+  }
   return 0;
 }

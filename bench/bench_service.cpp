@@ -23,6 +23,13 @@
 //                      sanitizer builds pass — the nightly sets a floor)
 //   --report=FILE      artifact path (default BENCH_service.json)
 //   --workers/--large-workers/--capacity/--batch/--aging  pool knobs
+//   --planner          adds the predicted-cost scheduling leg: self-
+//                      calibrates a small-mesh catalog from standalone runs,
+//                      replays the same deck with the planner routing lanes
+//                      (results must stay bit-identical and total simulated
+//                      seconds must not grow), then replays it again with
+//                      model+device freed so the planner picks the config
+//                      per job (verified against twins of what actually ran)
 
 #include <cstdio>
 #include <iterator>
@@ -35,6 +42,7 @@
 #include "service/pool.hpp"
 #include "service/report.hpp"
 #include "ports/registry.hpp"
+#include "tune/ingest.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
@@ -98,11 +106,106 @@ bool checksums_equal(const verify::FieldChecksum& a,
   return a.sum == b.sum && a.l2 == b.l2 && a.min == b.min && a.max == b.max;
 }
 
+/// Draws the full deck up front (the scenario set — and thus the standalone
+/// twin set — is fixed before the first job runs), then pushes it through a
+/// fresh service. `free_fields` marks every job's model and device as
+/// planner-fillable; with the planner disabled the marks are inert.
+service::ServiceReport run_deck(const service::ServiceConfig& config,
+                                long jobs, bool free_fields) {
+  util::Rng rng(kMixSeed);
+  std::vector<service::Job> mix;
+  mix.reserve(static_cast<std::size_t>(jobs));
+  for (long i = 0; i < jobs; ++i) {
+    mix.push_back(draw_job(rng));
+    mix.back().plan_model_free = free_fields;
+    mix.back().plan_device_free = free_fields;
+  }
+  service::SolveService svc(config);
+  for (service::Job& job : mix) svc.submit(std::move(job));
+  return svc.finish();
+}
+
+double total_sim_seconds(const service::ServiceReport& report) {
+  // Job-id order (results are sorted), so the sum is schedule-independent.
+  double total = 0.0;
+  for (const service::JobResult& r : report.results) total += r.sim_seconds;
+  return total;
+}
+
+/// The planner's cost model, measured rather than assumed: one standalone
+/// run per (pair, solver, mesh) over the deck's own mesh ladder, fitted
+/// into total_s and iters series. Everything the planner predicts with in
+/// this bench was observed on this machine minutes earlier.
+std::shared_ptr<const tune::ModelCatalog> calibrate_catalog() {
+  static constexpr int kLadder[] = {16, 24, 32, 48, 96};
+  static constexpr core::SolverKind kCalSolvers[] = {
+      core::SolverKind::kCg, core::SolverKind::kCheby, core::SolverKind::kPpcg,
+      core::SolverKind::kJacobi};
+  tune::SampleSet samples;
+  for (const ModelDevice& pair : kPairs) {
+    for (const core::SolverKind solver : kCalSolvers) {
+      for (const int nx : kLadder) {
+        service::Scenario s;
+        s.settings = core::Settings::default_problem();
+        s.settings.nx = s.settings.ny = nx;
+        s.settings.solver = solver;
+        s.settings.eps = 1e-6;
+        s.settings.max_iters = 200;
+        s.settings.end_step = 1;
+        s.model = pair.model;
+        s.device = pair.device;
+        const service::ScenarioOutcome out = service::run_scenario(s);
+        tune::SeriesKey key;
+        key.metric = "total_s";
+        key.model = std::string(sim::model_id(pair.model));
+        key.device = std::string(sim::device_short_name(pair.device));
+        key.solver = std::string(core::solver_name(solver));
+        key.x = "cells";
+        const double cells = static_cast<double>(nx) * nx;
+        samples.add(key, cells, out.run.sim_total_seconds);
+        int iters = 0;
+        for (const core::StepReport& step : out.run.steps) {
+          iters += step.solve.iterations;
+        }
+        key.metric = "iters";
+        samples.add(key, cells, static_cast<double>(iters));
+      }
+    }
+  }
+  return std::make_shared<const tune::ModelCatalog>(
+      tune::fit_samples(samples));
+}
+
+/// Large-lane threshold mirroring the static rule's intent in cost terms:
+/// the cheapest predicted solve at the static boundary mesh (96^2). Any job
+/// predicted at least that expensive — including a smaller mesh on a slow
+/// solver — owns a large-lane worker.
+double planner_threshold(const tune::ModelCatalog& catalog) {
+  double cheapest = 0.0;
+  bool have = false;
+  for (const ModelDevice& pair : kPairs) {
+    for (const core::SolverKind solver : core::kAllSolvers) {
+      tune::PredictQuery q;
+      q.model = std::string(sim::model_id(pair.model));
+      q.device = std::string(sim::device_short_name(pair.device));
+      q.solver = std::string(core::solver_name(solver));
+      q.nx = q.ny = 96;
+      const tune::Prediction p = tune::predict(catalog, q);
+      if (p.ok && (!have || p.seconds < cheapest)) {
+        cheapest = p.seconds;
+        have = true;
+      }
+    }
+  }
+  return have ? cheapest : 1e-3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const bool smoke = cli.has("smoke");
+  const bool with_planner = cli.has("planner");
   const long jobs_requested =
       cli.get_long_or("jobs", smoke ? 1'000 : 10'000);
   const double min_throughput = cli.get_double_or("min-throughput", 0.0);
@@ -129,22 +232,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Draw the whole mix up front: the scenario set (and thus the standalone
-  // twin set) is fixed before the first job runs.
-  util::Rng rng(kMixSeed);
-  std::vector<service::Job> mix;
-  mix.reserve(static_cast<std::size_t>(jobs_requested));
-  for (long i = 0; i < jobs_requested; ++i) mix.push_back(draw_job(rng));
-
   std::printf("service soak: %ld job(s), %d+%d workers, batch %zu, "
               "capacity %zu, aging %llu\n",
               jobs_requested, config.small_workers, config.large_workers,
               config.batch_max, config.queue_capacity,
               static_cast<unsigned long long>(config.aging_interval));
 
-  service::SolveService svc(config);
-  for (service::Job& job : mix) svc.submit(std::move(job));
-  const service::ServiceReport report = svc.finish();
+  const service::ServiceReport report =
+      run_deck(config, jobs_requested, /*free_fields=*/false);
 
   int gate_failures = 0;
   const auto fail = [&](const char* what) {
@@ -236,6 +331,116 @@ int main(int argc, char** argv) {
     ++gate_failures;
   }
   std::printf("service soak: wrote %s\n", report_path.c_str());
+
+  if (with_planner) {
+    const double static_sim = total_sim_seconds(report);
+    std::printf("\nservice soak: planner leg (predicted-cost scheduling)\n");
+    const std::shared_ptr<const tune::ModelCatalog> catalog =
+        calibrate_catalog();
+    service::ServiceConfig planned = config;
+    planned.planner.enabled = true;
+    planned.planner.catalog = catalog;
+    planned.planner.large_seconds_threshold = planner_threshold(*catalog);
+    planned.validate();
+    std::printf("  calibrated %zu series; large lane at predicted >= %.3f s\n",
+                catalog->size(), planned.planner.large_seconds_threshold);
+
+    // Leg 1: same deck, every field pinned — the planner may only re-route.
+    // Scenarios are unchanged, so every per-job result must be bit-identical
+    // to the static pass and the simulated total must not move at all.
+    const service::ServiceReport routed =
+        run_deck(planned, jobs_requested, /*free_fields=*/false);
+    if (routed.results.size() != report.results.size()) {
+      fail("planner routing leg dropped jobs");
+    }
+    if (!routed.all_ok()) fail("planner routing leg: a job failed");
+    std::uint64_t unchanged = 0;
+    const std::size_t common =
+        std::min(routed.results.size(), report.results.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      const service::JobResult& a = report.results[i];
+      const service::JobResult& b = routed.results[i];
+      if (a.id == b.id && checksums_equal(a.u_checksum, b.u_checksum) &&
+          checksums_equal(a.energy_checksum, b.energy_checksum)) {
+        ++unchanged;
+      }
+    }
+    if (unchanged != report.results.size()) {
+      fail("planner re-routing changed a job's results");
+    }
+    const double routed_sim = total_sim_seconds(routed);
+    if (routed_sim > static_sim * (1.0 + 1e-12)) {
+      std::fprintf(stderr, "  routed %.6f s > static %.6f s\n", routed_sim,
+                   static_sim);
+      fail("planner routing slower in total simulated seconds");
+    }
+
+    // Leg 2: same deck with model+device freed — per-job config selection.
+    // Results are verified against standalone twins of what actually ran
+    // (JobResult::scenario), and the argmin picks must not cost more in
+    // total than the deck's static draws.
+    const service::ServiceReport chosen =
+        run_deck(planned, jobs_requested, /*free_fields=*/true);
+    if (chosen.results.size() != static_cast<std::size_t>(jobs_requested)) {
+      fail("planner selection leg dropped jobs");
+    }
+    if (!chosen.all_ok()) fail("planner selection leg: a job failed");
+    std::map<std::string, service::ScenarioOutcome> chosen_twins;
+    std::uint64_t chosen_verified = 0, chosen_identical = 0;
+    for (const service::JobResult& r : chosen.results) {
+      if (!r.ok) continue;
+      const std::string key = r.scenario.key();
+      auto it = chosen_twins.find(key);
+      if (it == chosen_twins.end()) {
+        it = chosen_twins.emplace(key, service::run_scenario(r.scenario))
+                 .first;
+      }
+      ++chosen_verified;
+      if (checksums_equal(r.u_checksum, it->second.u_checksum) &&
+          checksums_equal(r.energy_checksum, it->second.energy_checksum)) {
+        ++chosen_identical;
+      } else {
+        std::fprintf(stderr, "  planner checksum mismatch: job %llu (%s)\n",
+                     static_cast<unsigned long long>(r.id), key.c_str());
+      }
+    }
+    if (chosen_verified != static_cast<std::uint64_t>(jobs_requested)) {
+      fail("planner selection leg: not every job verified against a twin");
+    }
+    if (chosen_identical != chosen_verified) {
+      fail("planner-chosen configs not bit-identical to standalone twins");
+    }
+    const double chosen_sim = total_sim_seconds(chosen);
+    if (chosen_sim > static_sim * (1.0 + 1e-12)) {
+      std::fprintf(stderr, "  chosen %.6f s > static %.6f s\n", chosen_sim,
+                   static_sim);
+      fail("planner config selection slower than the static mix");
+    }
+
+    const auto counter = [](const service::ServiceReport& rep,
+                            const char* name) {
+      return static_cast<unsigned long long>(rep.metrics.counter_or(name));
+    };
+    std::printf(
+        "  routing leg:   %llu routed large, %llu small, %llu fallback, "
+        "%llu/%zu results unchanged\n",
+        counter(routed, "tl_planner_routed_large"),
+        counter(routed, "tl_planner_routed_small"),
+        counter(routed, "tl_planner_route_fallback"),
+        static_cast<unsigned long long>(unchanged), report.results.size());
+    std::printf(
+        "  selection leg: %llu planned, %llu plan fallback, %zu distinct "
+        "chosen scenario(s), %llu/%llu bit-identical\n",
+        counter(chosen, "tl_planner_planned"),
+        counter(chosen, "tl_planner_plan_fallback"), chosen_twins.size(),
+        static_cast<unsigned long long>(chosen_identical),
+        static_cast<unsigned long long>(chosen_verified));
+    std::printf(
+        "  simulated seconds: static %.4f, planner-routed %.4f, "
+        "planner-chosen %.4f (%.1f%% of static)\n",
+        static_sim, routed_sim, chosen_sim,
+        static_sim > 0.0 ? 100.0 * chosen_sim / static_sim : 0.0);
+  }
 
   if (gate_failures > 0) {
     std::fprintf(stderr, "service soak: %d gate(s) FAILED\n", gate_failures);

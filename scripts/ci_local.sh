@@ -124,6 +124,21 @@ run_leg() { # run_leg <preset> <cc> <cxx>
   "./$build_dir/tools/tl_report" \
     --check "bench-smoke-${preset}-${cc}/run_report.json" \
     --baseline=BENCH_report.json
+
+  note "auto-tuning gates: tl_plan fit --check + bench_plan (${preset} / ${cc})"
+  # Refit the committed measurement grids, check the catalog against the
+  # committed golden, then the planner-regret gate: known-fastest picks per
+  # grid cell, bounded aggregate regret, artifact vs committed BENCH_plan.json.
+  "./$build_dir/tools/tl_plan" fit \
+    fig8_cpu.csv fig9_gpu.csv fig11_meshsweep.csv fig13_scaling.csv \
+    BENCH_report.json BENCH_fusion.json BENCH_overlap.json \
+    --out="bench-smoke-${preset}-${cc}/models.json" \
+    --check=verify/golden/models.json >/dev/null
+  "./$build_dir/bench/bench_plan" \
+    --report="bench-smoke-${preset}-${cc}/BENCH_plan.json" >/dev/null
+  "./$build_dir/tools/tl_report" \
+    --check "bench-smoke-${preset}-${cc}/BENCH_plan.json" \
+    --baseline=BENCH_plan.json
 }
 
 run_tsan() { # run_tsan <cc> <cxx>
@@ -132,7 +147,7 @@ run_tsan() { # run_tsan <cc> <cxx>
   note "leg: tsan / ${cc} (threading suites)"
   CC=$cc CXX=$cxx cmake --preset tsan -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target tests_models tests_fusion tests_isa tests_ports tests_verify tests_comm tests_dist tests_regions tests_telemetry tests_service tests_elastic
+    --target tests_models tests_fusion tests_isa tests_ports tests_verify tests_comm tests_dist tests_regions tests_telemetry tests_service tests_elastic tests_tune
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_models"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_fusion"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_isa"
@@ -144,17 +159,18 @@ run_tsan() { # run_tsan <cc> <cxx>
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_telemetry"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_service"
   TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_elastic"
+  TSAN_OPTIONS=halt_on_error=1 "./$build_dir/tests/tests_tune"
 }
 
 run_soak() { # run_soak <cc> <cxx>
   local cc=$1 cxx=$2
   local build_dir="build-release-${cc}"
-  note "leg: service soak / ${cc} (10k jobs + full elastic fault soak)"
+  note "leg: service soak / ${cc} (10k jobs + planner leg + full elastic fault soak)"
   CC=$cc CXX=$cxx cmake --preset release -B "$build_dir" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" --target bench_service bench_elastic
   mkdir -p "bench-smoke-release-${cc}"
   (cd "bench-smoke-release-${cc}" && \
-    "../$build_dir/bench/bench_service" --min-throughput 50 \
+    "../$build_dir/bench/bench_service" --min-throughput 50 --planner \
       --report=BENCH_service_full.json)
   (cd "bench-smoke-release-${cc}" && \
     "../$build_dir/bench/bench_elastic" --report=BENCH_elastic_full.json)

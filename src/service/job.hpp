@@ -75,6 +75,16 @@ struct Job {
   /// by tenants. Null means start from step 1.
   std::shared_ptr<const dist::Snapshot> resume_from;
   int resume_attempts = 0;  // doubles as the fault-schedule epoch
+
+  // -- Planner (consulted only when ServiceConfig::planner is enabled) ------
+  /// Leave scenario.model free for the planner to fill at submit time from
+  /// the fitted cost catalog. Default pinned: with the planner off, or the
+  /// field pinned, the tenant's choice runs unchanged. The solver is never
+  /// free — the planner changes which configuration runs, never the
+  /// numerics of the answer.
+  bool plan_model_free = false;
+  /// Same, for scenario.device.
+  bool plan_device_free = false;
 };
 
 /// One finished job. `ok == false` means the job was rejected or threw
@@ -84,6 +94,10 @@ struct JobResult {
   std::uint64_t id = 0;
   std::string tenant;
   Priority priority = Priority::kNormal;
+  /// The scenario that actually ran, planner-filled fields included — the
+  /// identity a standalone verification twin must replay. Equal to the
+  /// submitted scenario whenever every field was pinned.
+  Scenario scenario;
 
   bool ok = false;
   std::string error;

@@ -29,6 +29,16 @@ void ServiceConfig::validate() const {
   if (host_threads == 0) {
     throw std::invalid_argument("ServiceConfig: zero host threads");
   }
+  if (planner.enabled) {
+    if (planner.catalog == nullptr) {
+      throw std::invalid_argument(
+          "ServiceConfig: planner enabled without a model catalog");
+    }
+    if (!(planner.large_seconds_threshold > 0.0)) {
+      throw std::invalid_argument(
+          "ServiceConfig: planner threshold must be positive seconds");
+    }
+  }
 }
 
 bool ServiceReport::all_ok() const noexcept {
@@ -115,22 +125,82 @@ SolveService::~SolveService() {
 }
 
 std::uint64_t SolveService::submit(Job job) {
+  bool route_large;
   {
     std::lock_guard lock(submit_mutex_);
     if (finished_) {
       throw std::logic_error("SolveService::submit: service already finished");
     }
     job.id = next_id_++;
+    route_large = config_.planner.enabled
+                      ? plan_and_route(job)
+                      : job.scenario.cells() >= config_.large_cells_threshold;
   }
   const std::uint64_t id = job.id;
-  JobQueue& lane = job.scenario.cells() >= config_.large_cells_threshold &&
-                           config_.large_workers > 0
-                       ? large_lane_
-                       : small_lane_;
+  JobQueue& lane = route_large && config_.large_workers > 0 ? large_lane_
+                                                            : small_lane_;
   if (!lane.push(std::move(job))) {
     throw std::logic_error("SolveService::submit: queue closed");
   }
   return id;
+}
+
+bool SolveService::plan_and_route(Job& job) {
+  const tune::ModelCatalog& catalog = *config_.planner.catalog;
+  Scenario& s = job.scenario;
+  planner_metrics_.add_counter("tl_planner_jobs", 1.0);
+
+  // Per-job config selection: the tenant pins any subset, the planner fills
+  // the rest with the catalog argmin. Never touches solver or numerics.
+  if (job.plan_model_free || job.plan_device_free) {
+    tune::PlanQuery query;
+    query.nx = s.settings.nx;
+    query.ny = s.settings.ny;
+    query.solver = std::string(core::solver_name(s.settings.solver));
+    if (!job.plan_model_free) query.model = std::string(sim::model_id(s.model));
+    if (!job.plan_device_free) {
+      query.device = std::string(sim::device_short_name(s.device));
+    }
+    query.rank_choices = {s.settings.nranks};
+    query.overlap_comm = s.settings.overlap_comm;
+    query.use_fused = s.settings.use_fused;
+    query.use_pipelined = s.settings.use_pipelined;
+    const tune::PlanResult plan = tune::choose_config(catalog, query);
+    bool applied = false;
+    if (plan.ok) {
+      const auto model = sim::parse_model(plan.best.model);
+      const auto device = sim::parse_device(plan.best.device);
+      if (model && device) {
+        if (job.plan_model_free) s.model = *model;
+        if (job.plan_device_free) s.device = *device;
+        applied = true;
+      }
+    }
+    planner_metrics_.add_counter(
+        applied ? "tl_planner_planned" : "tl_planner_plan_fallback", 1.0);
+  }
+
+  // Lane routing by predicted cost; no basis => the static cell-count rule.
+  tune::PredictQuery query;
+  query.model = std::string(sim::model_id(s.model));
+  query.device = std::string(sim::device_short_name(s.device));
+  query.solver = std::string(core::solver_name(s.settings.solver));
+  query.nx = s.settings.nx;
+  query.ny = s.settings.ny;
+  query.ranks = s.settings.nranks;
+  query.use_fused = s.settings.use_fused;
+  query.overlap_comm = s.settings.overlap_comm;
+  query.use_pipelined = s.settings.use_pipelined;
+  const tune::Prediction pred = tune::predict(catalog, query);
+  if (!pred.ok) {
+    planner_metrics_.add_counter("tl_planner_route_fallback", 1.0);
+    return s.cells() >= config_.large_cells_threshold;
+  }
+  const bool large = pred.seconds >= config_.planner.large_seconds_threshold;
+  planner_metrics_.add_counter(
+      large ? "tl_planner_routed_large" : "tl_planner_routed_small", 1.0);
+  planner_metrics_.add_counter("tl_planner_predicted_seconds", pred.seconds);
+  return large;
 }
 
 std::uint64_t SolveService::submitted() const noexcept {
@@ -226,8 +296,14 @@ ServiceReport SolveService::finish() {
                             .count();
 
   std::vector<telemetry::MetricsRegistry> slices;
-  slices.reserve(sessions_.size());
+  slices.reserve(sessions_.size() + 1);
   for (Session& s : sessions_) slices.push_back(std::move(s.registry()));
+  // The planner slice rides along only when the planner is on, so a
+  // planner-off report (the committed BENCH_service.json baseline) is
+  // byte-identical to pre-planner builds.
+  if (config_.planner.enabled) {
+    slices.push_back(std::move(planner_metrics_));
+  }
   if (!slices.empty()) {
     report.metrics = telemetry::MetricsRegistry::combine_all(slices);
   }

@@ -20,14 +20,34 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "service/queue.hpp"
 #include "service/session.hpp"
+#include "tune/planner.hpp"
 
 namespace tl::service {
+
+/// Opt-in predicted-cost scheduling (DESIGN.md §15). When enabled, submit()
+/// fills any planner-free scenario fields (Job::plan_*_free) with the
+/// catalog argmin via tune::choose_config, and lane routing switches from
+/// the static cell-count rule to the predicted solve seconds — a 2048^2
+/// ten-iteration sweep no longer outranks a 128^2 full convergence run just
+/// because it has more cells. Jobs the predictor has no basis for fall back
+/// to the static rule, so an incomplete catalog degrades to today's
+/// behaviour rather than misrouting. Decisions are metered as tl_planner_*
+/// counters in the final report.
+struct PlannerOptions {
+  bool enabled = false;
+  /// Fitted tl-models-1 catalog (tl_plan fit) the planner scores with.
+  /// Required when enabled.
+  std::shared_ptr<const tune::ModelCatalog> catalog;
+  /// Predicted solve seconds at or above which a job takes the large lane.
+  double large_seconds_threshold = 1e-3;
+};
 
 struct ServiceConfig {
   int small_workers = 3;
@@ -36,7 +56,9 @@ struct ServiceConfig {
   std::uint64_t aging_interval = 16;  // pops per priority-level boost
   std::size_t batch_max = 8;          // small-lane tenant-pure batch limit
   int large_cells_threshold = 96 * 96;  // nx*ny at or above => large lane
+                                        // (planner-off and fallback routing)
   unsigned host_threads = 1;          // HostPool width per rank port
+  PlannerOptions planner;             // off by default
 
   void validate() const;  // throws std::invalid_argument on nonsense
 };
@@ -100,6 +122,11 @@ class SolveService {
 
  private:
   void worker_main(int worker_index, JobQueue& lane, std::size_t batch_max);
+  /// Planner path of submit(): fills the job's free fields from the catalog
+  /// argmin and returns whether the predicted cost routes it to the large
+  /// lane. Called under submit_mutex_ — planner_metrics_ stays
+  /// single-writer because submit is the only producer.
+  bool plan_and_route(Job& job);
 
   ServiceConfig config_;
   JobQueue small_lane_;
@@ -114,6 +141,9 @@ class SolveService {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_batch_ = 1;
   bool finished_ = false;
+  /// tl_planner_* decision counters; written only under submit_mutex_ and
+  /// folded into the report's registry when the planner is enabled.
+  telemetry::MetricsRegistry planner_metrics_;
   std::chrono::steady_clock::time_point start_;
 };
 

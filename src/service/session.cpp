@@ -36,6 +36,7 @@ JobResult Session::run(const Job& job) {
   result.id = job.id;
   result.tenant = job.tenant;
   result.priority = job.priority;
+  result.scenario = job.scenario;
 
   result.resume_attempts = job.resume_attempts;
 

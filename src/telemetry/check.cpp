@@ -22,6 +22,7 @@ ArtifactKind classify(const util::JsonValue& doc) {
   if (bench == "pipeline") return ArtifactKind::kBenchPipeline;
   if (bench == "service") return ArtifactKind::kBenchService;
   if (bench == "elastic") return ArtifactKind::kBenchElastic;
+  if (bench == "plan") return ArtifactKind::kBenchPlan;
   return ArtifactKind::kUnknown;
 }
 
@@ -33,6 +34,7 @@ std::string_view artifact_kind_name(ArtifactKind kind) {
     case ArtifactKind::kBenchPipeline: return "bench/pipeline";
     case ArtifactKind::kBenchService: return "bench/service";
     case ArtifactKind::kBenchElastic: return "bench/elastic";
+    case ArtifactKind::kBenchPlan: return "bench/plan";
     case ArtifactKind::kUnknown: return "unknown";
   }
   return "?";
@@ -440,6 +442,49 @@ void check_bench_elastic(Checker& c, const util::JsonValue& base,
       });
 }
 
+void check_bench_plan(Checker& c, const util::JsonValue& base,
+                      const util::JsonValue& cur) {
+  if (const util::JsonValue* bs = base.find("summary")) {
+    const util::JsonValue* cs = cur.find("summary");
+    const util::JsonValue empty;
+    const util::JsonValue& s = (cs != nullptr) ? *cs : empty;
+    // Pick counts are exact: the grids are committed and the planner is a
+    // pure function of them, so a different pick is a behaviour change.
+    c.exact("summary.cells", bs->get_number_or("cells", 0.0),
+            s.get_number_or("cells", 0.0));
+    c.exact("summary.exact", bs->get_number_or("exact", 0.0),
+            s.get_number_or("exact", 0.0));
+    c.exact("summary.picked_best", bs->get_number_or("picked_best", 0.0),
+            s.get_number_or("picked_best", 0.0));
+    c.lower_is_regression("summary.picked_best_pct",
+                          bs->get_number_or("picked_best_pct", 0.0),
+                          s.get_number_or("picked_best_pct", 0.0));
+    c.slower_is_regression("summary.regret_pct",
+                           bs->get_number_or("regret_pct", 0.0),
+                           s.get_number_or("regret_pct", 0.0));
+    c.slower_is_regression("summary.cv_mean_pct",
+                           bs->get_number_or("cv_mean_pct", 0.0),
+                           s.get_number_or("cv_mean_pct", 0.0));
+    c.slower_is_regression("summary.cv_max_pct",
+                           bs->get_number_or("cv_max_pct", 0.0),
+                           s.get_number_or("cv_max_pct", 0.0));
+  }
+  check_indexed(
+      c, "cells", index_by(base, "cells", {"grid", "device", "solver", "mesh"}),
+      index_by(cur, "cells", {"grid", "device", "solver", "mesh"}),
+      [&](const std::string& key, const util::JsonValue& b,
+          const util::JsonValue& n) {
+        const std::string prefix = "cells[" + key + "].";
+        if (b.get_string_or("chosen", "") != n.get_string_or("chosen", "")) {
+          c.note_regression(prefix + "chosen", 0.0, 1.0,
+                            "pick changed: " + b.get_string_or("chosen", "?") +
+                                " -> " + n.get_string_or("chosen", "?"));
+        }
+        c.exact(prefix + "picked_best", b.get_number_or("picked_best", 0.0),
+                n.get_number_or("picked_best", 0.0));
+      });
+}
+
 }  // namespace
 
 CheckResult check(const util::JsonValue& baseline,
@@ -473,6 +518,9 @@ CheckResult check(const util::JsonValue& baseline,
       break;
     case ArtifactKind::kBenchElastic:
       check_bench_elastic(c, baseline, current);
+      break;
+    case ArtifactKind::kBenchPlan:
+      check_bench_plan(c, baseline, current);
       break;
     case ArtifactKind::kUnknown:
       break;
@@ -721,6 +769,47 @@ void analyze_bench_elastic(std::ostringstream& os,
   tally(doc.find("resume"), "kill-and-resume");
 }
 
+void analyze_bench_plan(std::ostringstream& os, const util::JsonValue& doc) {
+  if (const util::JsonValue* s = doc.find("summary")) {
+    os << util::strf(
+        "planner regret grid: %.0f cell(s), %.0f exact argmin, "
+        "%.0f picked-best (%.1f%%), aggregate regret %.2f%%\n",
+        s->get_number_or("cells", 0.0), s->get_number_or("exact", 0.0),
+        s->get_number_or("picked_best", 0.0),
+        s->get_number_or("picked_best_pct", 0.0),
+        s->get_number_or("regret_pct", 0.0));
+    os << util::strf(
+        "held-out (leave-one-out) error: mean %.2f%%, worst %.2f%% over "
+        "%.0f multi-point series\n",
+        s->get_number_or("cv_mean_pct", 0.0),
+        s->get_number_or("cv_max_pct", 0.0),
+        s->get_number_or("cv_series", 0.0));
+  }
+  const util::JsonValue* cells = doc.find("cells");
+  if (cells != nullptr && cells->is_array()) {
+    std::size_t misses = 0;
+    for (const util::JsonValue& cell : cells->as_array()) {
+      if (cell.get_number_or("picked_best", 0.0) == 0.0) ++misses;
+    }
+    if (misses > 0) {
+      os << util::strf("%zu cell(s) missed the known-fastest config:\n",
+                       misses);
+      for (const util::JsonValue& cell : cells->as_array()) {
+        if (cell.get_number_or("picked_best", 0.0) != 0.0) continue;
+        os << util::strf("  %s %s/%s mesh %.0f: chose %s over %s "
+                         "(+%.2f%%)\n",
+                         cell.get_string_or("grid", "?").c_str(),
+                         cell.get_string_or("device", "?").c_str(),
+                         cell.get_string_or("solver", "?").c_str(),
+                         cell.get_number_or("mesh", 0.0),
+                         cell.get_string_or("chosen", "?").c_str(),
+                         cell.get_string_or("oracle", "?").c_str(),
+                         cell.get_number_or("regret_pct", 0.0));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string analyze(const util::JsonValue& doc, const AnalyzeOptions& opt) {
@@ -739,6 +828,9 @@ std::string analyze(const util::JsonValue& doc, const AnalyzeOptions& opt) {
       break;
     case ArtifactKind::kBenchElastic:
       analyze_bench_elastic(os, doc);
+      break;
+    case ArtifactKind::kBenchPlan:
+      analyze_bench_plan(os, doc);
       break;
     case ArtifactKind::kUnknown:
       os << "unknown artifact (no tl-report-1 schema or bench tag)\n";

@@ -25,6 +25,7 @@ enum class ArtifactKind {
   kBenchPipeline,  // "bench": "pipeline" (classic vs pipelined CG)
   kBenchService,   // "bench": "service"
   kBenchElastic,   // "bench": "elastic"
+  kBenchPlan,      // "bench": "plan" (planner pick/regret grid)
   kUnknown,
 };
 

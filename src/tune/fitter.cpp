@@ -1,0 +1,273 @@
+#include "tune/fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tl::tune {
+
+const std::vector<Hypothesis>& hypothesis_lattice() {
+  static const std::vector<Hypothesis> lattice = [] {
+    const double exponents[] = {-1.0, -0.5, 0.0, 0.5, 1.0,
+                                1.25, 1.5,  1.75, 2.0};
+    std::vector<Hypothesis> cells;
+    for (const double a : exponents) {
+      for (int b = 0; b <= 2; ++b) {
+        if (a == 0.0 && b == 0) continue;  // the constant, handled apart
+        cells.push_back(Hypothesis{a, b});
+      }
+    }
+    return cells;
+  }();
+  return lattice;
+}
+
+namespace {
+
+constexpr double kTinyY = 1e-300;  // absolute guard against div-by-zero
+
+/// Relative floor applied to |y| in both the 1/y^2 weights and relative
+/// errors, as a fraction of the series' largest |y|. Without it a y == 0
+/// point (e.g. comm seconds at ranks == 1) gets infinite weight and poisons
+/// the normal equations with NaNs; with it the zero point is merely ~1e6
+/// times heavier than the largest point, so the fit is pulled through it
+/// without becoming singular.
+double y_floor_of(const std::vector<SamplePoint>& pts) {
+  double y_max = 0.0;
+  for (const SamplePoint& p : pts) y_max = std::max(y_max, std::abs(p.y));
+  return 1e-3 * y_max;
+}
+
+double basis(const Hypothesis& h, double x) {
+  double phi = std::pow(x, h.a);
+  if (h.b != 0) phi *= std::pow(std::log2(x), h.b);
+  return phi;
+}
+
+double rel_err(double predicted, double actual, double floor) {
+  if (!std::isfinite(predicted)) return std::numeric_limits<double>::max();
+  return std::abs(predicted - actual) /
+         std::max({std::abs(actual), floor, kTinyY});
+}
+
+/// Weighted (1/y^2) two-parameter least squares of y = c0 + c1 * phi over
+/// the index subset [0, n) minus `skip` (-1 = use all). Returns false when
+/// the weighted normal equations are singular (all phi effectively equal).
+bool solve_wls(const std::vector<SamplePoint>& pts,
+               const std::vector<double>& phi, int skip, double floor,
+               double* c0, double* c1) {
+  double W = 0.0, Sx = 0.0, Sy = 0.0, Sxx = 0.0, Sxy = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (static_cast<int>(i) == skip) continue;
+    const double denom = std::max({std::abs(pts[i].y), floor, kTinyY});
+    const double w = 1.0 / (denom * denom);
+    W += w;
+    Sx += w * phi[i];
+    Sy += w * pts[i].y;
+    Sxx += w * phi[i] * phi[i];
+    Sxy += w * phi[i] * pts[i].y;
+  }
+  const double det = W * Sxx - Sx * Sx;
+  const double scale = W * Sxx + Sx * Sx;
+  if (!(std::abs(det) > 1e-12 * std::max(scale, kTinyY))) return false;
+  *c1 = (W * Sxy - Sx * Sy) / det;
+  *c0 = (Sxx * Sy - Sx * Sxy) / det;
+  return std::isfinite(*c0) && std::isfinite(*c1);
+}
+
+/// Weighted mean of y over the subset (the constant hypothesis).
+double weighted_mean(const std::vector<SamplePoint>& pts, int skip,
+                     double floor) {
+  double W = 0.0, Sy = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (static_cast<int>(i) == skip) continue;
+    const double denom = std::max({std::abs(pts[i].y), floor, kTinyY});
+    const double w = 1.0 / (denom * denom);
+    W += w;
+    Sy += w * pts[i].y;
+  }
+  return W > 0.0 ? Sy / W : 0.0;
+}
+
+/// Mean squared leave-one-out relative error of one candidate. `h` nullptr
+/// means the constant hypothesis.
+double loo_score(const std::vector<SamplePoint>& pts,
+                 const std::vector<double>* phi, const Hypothesis* h,
+                 double floor) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    double predicted;
+    if (h == nullptr) {
+      predicted = weighted_mean(pts, static_cast<int>(i), floor);
+    } else {
+      double c0 = 0.0, c1 = 0.0;
+      if (!solve_wls(pts, *phi, static_cast<int>(i), floor, &c0, &c1)) {
+        return std::numeric_limits<double>::max();
+      }
+      predicted = c0 + c1 * (*phi)[i];
+    }
+    const double e = rel_err(predicted, pts[i].y, floor);
+    if (e >= std::numeric_limits<double>::max()) {
+      return std::numeric_limits<double>::max();
+    }
+    sum += e * e;
+  }
+  return sum / static_cast<double>(pts.size());
+}
+
+void finalize_quality(const std::vector<SamplePoint>& pts,
+                      const ScalingFit& fit, double floor, FitQuality* q) {
+  double rss = 0.0, rel_rss = 0.0, tss = 0.0;
+  double mean = 0.0;
+  for (const SamplePoint& p : pts) mean += p.y;
+  mean /= static_cast<double>(pts.size());
+  for (const SamplePoint& p : pts) {
+    const double predicted =
+        fit.c0 + (fit.c1 != 0.0
+                      ? fit.c1 * basis(Hypothesis{fit.a, fit.b}, p.x)
+                      : 0.0);
+    const double r = predicted - p.y;
+    rss += r * r;
+    const double re = r / std::max({std::abs(p.y), floor, kTinyY});
+    rel_rss += re * re;
+    tss += (p.y - mean) * (p.y - mean);
+  }
+  q->rel_rss = rel_rss;
+  q->r2 = tss > 0.0 ? 1.0 - rss / tss : 1.0;
+  q->points = static_cast<int>(pts.size());
+}
+
+FitOutcome constant_outcome(const std::vector<SamplePoint>& pts, double c0,
+                            double floor, bool fallback) {
+  FitOutcome out;
+  out.fit.c0 = c0;
+  out.quality.fallback = fallback;
+  if (!pts.empty()) {
+    auto [lo, hi] = std::minmax_element(
+        pts.begin(), pts.end(),
+        [](const SamplePoint& l, const SamplePoint& r) { return l.x < r.x; });
+    out.x_min = lo->x;
+    out.x_max = hi->x;
+    finalize_quality(pts, out.fit, floor, &out.quality);
+  }
+  return out;
+}
+
+}  // namespace
+
+FitOutcome fit_series(const std::vector<SamplePoint>& points) {
+  std::vector<SamplePoint> pts;
+  pts.reserve(points.size());
+  for (const SamplePoint& p : points) {
+    if (std::isfinite(p.x) && std::isfinite(p.y) && p.x > 0.0 && p.y >= 0.0) {
+      pts.push_back(p);
+    }
+  }
+
+  const double floor = y_floor_of(pts);
+
+  // Degenerate shapes, in escalating order of available information.
+  if (pts.empty()) return constant_outcome(pts, 0.0, floor, true);
+  if (pts.size() == 1) return constant_outcome(pts, pts[0].y, floor, true);
+
+  const auto all_equal = [](auto&& get) {
+    return [get](const std::vector<SamplePoint>& v) {
+      for (const SamplePoint& p : v) {
+        if (rel_err(get(p), get(v.front()), 0.0) > 1e-12) return false;
+      }
+      return true;
+    };
+  };
+  if (all_equal([](const SamplePoint& p) { return p.x; })(pts)) {
+    return constant_outcome(pts, weighted_mean(pts, -1, floor), floor, true);
+  }
+  if (all_equal([](const SamplePoint& p) { return p.y; })(pts)) {
+    return constant_outcome(pts, pts.front().y, floor, false);
+  }
+  if (pts.size() == 2) {
+    // Two distinct points: every lattice member interpolates exactly, so
+    // selection is meaningless — pin the linear term.
+    FitOutcome out;
+    const Hypothesis linear{1.0, 0};
+    std::vector<double> phi{basis(linear, pts[0].x), basis(linear, pts[1].x)};
+    double c0 = 0.0, c1 = 0.0;
+    if (!solve_wls(pts, phi, -1, floor, &c0, &c1)) {
+      return constant_outcome(pts, weighted_mean(pts, -1, floor), floor, true);
+    }
+    out.fit = ScalingFit{c0, c1, 1.0, 0};
+    out.quality.fallback = true;
+    out.x_min = std::min(pts[0].x, pts[1].x);
+    out.x_max = std::max(pts[0].x, pts[1].x);
+    finalize_quality(pts, out.fit, floor, &out.quality);
+    return out;
+  }
+
+  // Full selection: constant first (simplest), then the lattice in order.
+  double best_score = loo_score(pts, nullptr, nullptr, floor);
+  int best_index = -1;  // -1 = constant
+  std::vector<double> phi(pts.size());
+  const std::vector<Hypothesis>& lattice = hypothesis_lattice();
+  for (std::size_t h = 0; h < lattice.size(); ++h) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      phi[i] = basis(lattice[h], pts[i].x);
+    }
+    const double score = loo_score(pts, &phi, &lattice[h], floor);
+    // Strict improvement beyond noise keeps the tie-break deterministic and
+    // biased toward the simpler, earlier hypothesis.
+    if (score < best_score * (1.0 - 1e-9)) {
+      best_score = score;
+      best_index = static_cast<int>(h);
+    }
+  }
+
+  FitOutcome out;
+  if (best_index < 0) {
+    out = constant_outcome(pts, weighted_mean(pts, -1, floor), floor, false);
+  } else {
+    const Hypothesis& h = lattice[static_cast<std::size_t>(best_index)];
+    for (std::size_t i = 0; i < pts.size(); ++i) phi[i] = basis(h, pts[i].x);
+    double c0 = 0.0, c1 = 0.0;
+    if (!solve_wls(pts, phi, -1, floor, &c0, &c1)) {
+      out = constant_outcome(pts, weighted_mean(pts, -1, floor), floor, true);
+    } else {
+      out.fit = ScalingFit{c0, c1, h.a, h.b};
+      auto [lo, hi] = std::minmax_element(
+          pts.begin(), pts.end(), [](const SamplePoint& l,
+                                     const SamplePoint& r) {
+            return l.x < r.x;
+          });
+      out.x_min = lo->x;
+      out.x_max = hi->x;
+      finalize_quality(pts, out.fit, floor, &out.quality);
+    }
+  }
+
+  // Leave-one-out diagnostics of the candidate that actually won (also the
+  // honest held-out prediction error recorded in the catalog).
+  const bool constant = out.fit.is_constant();
+  if (!constant) {
+    const Hypothesis selected{out.fit.a, out.fit.b};
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      phi[j] = basis(selected, pts[j].x);
+    }
+  }
+  double worst = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    double predicted;
+    double c0 = 0.0, c1 = 0.0;
+    if (!constant &&
+        solve_wls(pts, phi, static_cast<int>(i), floor, &c0, &c1)) {
+      predicted = c0 + c1 * phi[i];
+    } else {
+      predicted = weighted_mean(pts, static_cast<int>(i), floor);
+    }
+    const double e = std::min(rel_err(predicted, pts[i].y, floor), 1e9);
+    worst = std::max(worst, e);
+    sum += e;
+  }
+  out.quality.cv_rel_err = sum / static_cast<double>(pts.size());
+  out.quality.cv_max_rel_err = worst;
+  return out;
+}
+
+}  // namespace tl::tune

@@ -1,0 +1,51 @@
+#pragma once
+// Cross-validated least-squares selection over a small hypothesis lattice.
+//
+// Extra-P's insight scaled down to this repo's needs: almost every measured
+// curve here (runtime vs cells, iterations vs cells, runtime vs ranks) is
+// well described by a single compositional term y = c0 + c1 * x^a * log2^b(x)
+// with a and b drawn from a small discrete lattice. For each hypothesis the
+// two linear coefficients have a closed form (weighted least squares, weights
+// 1/y^2 so decades-spanning series are fitted in relative terms); the
+// hypothesis itself is selected by leave-one-out cross-validation on the
+// relative prediction error, which punishes overfitting the bend of a series
+// far harder than in-sample RSS does. Degenerate inputs (empty, one point,
+// constant, identical x) fall back to constant/linear models — never NaN,
+// never a throw.
+
+#include <vector>
+
+#include "tune/catalog.hpp"
+
+namespace tl::tune {
+
+struct SamplePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One lattice cell: the fixed exponents of a candidate term.
+struct Hypothesis {
+  double a = 0.0;
+  int b = 0;
+};
+
+/// The hypothesis lattice, in deterministic tie-break order:
+/// a in {-1, -0.5, 0, 0.5, 1, 1.25, 1.5, 1.75, 2} x b in {0, 1, 2}, minus
+/// the degenerate (a=0, b=0) constant (fitted separately as c1 = 0).
+const std::vector<Hypothesis>& hypothesis_lattice();
+
+struct FitOutcome {
+  ScalingFit fit;
+  FitQuality quality;
+  double x_min = 0.0;
+  double x_max = 0.0;
+};
+
+/// Fits one series. Points with non-finite coordinates or x <= 0 are
+/// dropped; y must be >= 0 (runtimes, counts, ratios). Selection rule:
+/// minimal mean squared leave-one-out relative error, ties broken toward
+/// the simpler hypothesis (constant first, then lattice order).
+FitOutcome fit_series(const std::vector<SamplePoint>& points);
+
+}  // namespace tl::tune

@@ -1,0 +1,324 @@
+#include "tune/ingest.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace tl::tune {
+
+void SampleSet::add(const SeriesKey& key, double x, double y) {
+  auto& entry = series[key.str()];
+  if (entry.second.empty()) entry.first = key;
+  entry.second.push_back(SamplePoint{x, y});
+}
+
+namespace {
+
+[[noreturn]] void bad_input(const std::string& path, const std::string& why) {
+  throw std::runtime_error("tl-plan ingest: " + path + ": " + why);
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// fig8/9/10 rows carry no device column; the emitting bench encodes it in
+/// the file name (fig8_cpu.csv, fig9_gpu.csv, fig10_knc.csv).
+std::string device_from_filename(const std::string& path) {
+  const std::string name = basename_of(path);
+  std::string found;
+  for (const char* device : {"cpu", "gpu", "knc"}) {
+    if (name.find(device) != std::string::npos) {
+      if (!found.empty()) bad_input(path, "ambiguous device in file name");
+      found = device;
+    }
+  }
+  if (found.empty()) {
+    bad_input(path,
+              "cannot infer device from file name (expected cpu/gpu/knc)");
+  }
+  return found;
+}
+
+struct CsvDoc {
+  std::map<std::string, std::size_t> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  bool has(const char* column) const {
+    return columns.find(column) != columns.end();
+  }
+  const std::string& cell(std::size_t row, const char* column) const {
+    return rows[row][columns.at(column)];
+  }
+  double num(const std::string& path, std::size_t row,
+             const char* column) const {
+    const std::string& text = cell(row, column);
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || !std::isfinite(v)) {
+      bad_input(path, util::strf("row %zu: '%s' is not a number in '%s'",
+                                 row + 2, text.c_str(), column));
+    }
+    return v;
+  }
+};
+
+CsvDoc read_csv(const std::string& path, std::istream& in) {
+  CsvDoc doc;
+  std::string line;
+  if (!std::getline(in, line)) bad_input(path, "empty file");
+  const std::vector<std::string> header = util::parse_csv_line(line);
+  for (std::size_t i = 0; i < header.size(); ++i) doc.columns[header[i]] = i;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = util::parse_csv_line(line);
+    if (cells.size() != header.size()) {
+      bad_input(path, util::strf("row %zu: %zu cell(s), header has %zu",
+                                 doc.rows.size() + 2, cells.size(),
+                                 header.size()));
+    }
+    doc.rows.push_back(std::move(cells));
+  }
+  return doc;
+}
+
+std::size_t ingest_fig11(SampleSet& set, const std::string& path,
+                         const CsvDoc& doc) {
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    SeriesKey key;
+    key.metric = "total_s";
+    key.model = doc.cell(i, "model");
+    key.device = doc.cell(i, "device");
+    key.solver = "CG";  // the fig11 sweep is CG-only, like the paper's plot
+    set.add(key, doc.num(path, i, "cells"), doc.num(path, i, "seconds"));
+    ++added;
+  }
+  return added;
+}
+
+std::size_t ingest_device_figure(SampleSet& set, const std::string& path,
+                                 const CsvDoc& doc) {
+  const std::string device = device_from_filename(path);
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    SeriesKey key;
+    key.metric = "total_s";
+    key.model = doc.cell(i, "model");
+    key.device = device;
+    key.solver = doc.cell(i, "solver");
+    set.add(key, kFigureMeshCells, doc.num(path, i, "seconds"));
+    ++added;
+    key.metric = "iters";
+    set.add(key, kFigureMeshCells, doc.num(path, i, "outer_iterations"));
+    ++added;
+  }
+  return added;
+}
+
+std::size_t ingest_fig13(SampleSet& set, const std::string& path,
+                         const CsvDoc& doc) {
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const std::string& scaling = doc.cell(i, "scaling");
+    // Strong sweeps pin the global mesh; weak sweeps pin the per-rank tile.
+    const char* mesh_column = scaling == "weak" ? "tile_nx" : "global_nx";
+    SeriesKey key;
+    key.metric = "total_s";
+    key.model = doc.cell(i, "model");
+    key.device = doc.cell(i, "device");
+    key.solver = doc.cell(i, "solver");
+    key.variant = scaling + "-" + doc.cell(i, "mode") + "-" +
+                  doc.cell(i, mesh_column);
+    key.x = "ranks";
+    const double ranks = doc.num(path, i, "ranks");
+    set.add(key, ranks, doc.num(path, i, "total_s"));
+    ++added;
+    key.metric = "comm_s";
+    set.add(key, ranks, doc.num(path, i, "comm_s"));
+    ++added;
+  }
+  return added;
+}
+
+std::size_t ingest_run_report(SampleSet& set, const std::string& path,
+                              const util::JsonValue& doc) {
+  const util::JsonValue* ctx = doc.find("context");
+  if (ctx == nullptr || !ctx->is_object()) {
+    bad_input(path, "tl-report-1 without a context object");
+  }
+  const std::string model = ctx->get_string_or("model", "");
+  const std::string device = ctx->get_string_or("device", "");
+  const double nx = ctx->get_number_or("nx", 0.0);
+  const double ny = ctx->get_number_or("ny", nx);
+  const double cells = nx * (ny > 0.0 ? ny : nx);
+  if (model.empty() || device.empty() || cells <= 0.0) {
+    bad_input(path, "tl-report-1 context lacks model/device/mesh");
+  }
+  std::size_t added = 0;
+  // Per-solve runtimes: one total_s point per solver the report covers.
+  if (const util::JsonValue* solves = doc.find("solves");
+      solves != nullptr && solves->is_array()) {
+    for (const util::JsonValue& solve : solves->as_array()) {
+      const std::string solver = solve.get_string_or("solver", "");
+      const double seconds = solve.get_number_or("sim_seconds", 0.0);
+      if (solver.empty() || seconds <= 0.0) continue;
+      SeriesKey key;
+      key.metric = "total_s";
+      key.model = model;
+      key.device = device;
+      key.solver = solver;
+      set.add(key, cells, seconds);
+      ++added;
+    }
+  }
+  // Per-kernel totals: the composition basis. The kernel mix spans every
+  // solve in the report, so the solver key is the report's context solver
+  // when single-solve and "all" otherwise.
+  std::string kernel_solver = ctx->get_string_or("solver", "all");
+  if (const util::JsonValue* solves = doc.find("solves");
+      solves != nullptr && solves->is_array() &&
+      solves->as_array().size() > 1) {
+    kernel_solver = "all";
+  }
+  if (const util::JsonValue* kernels = doc.find("kernels");
+      kernels != nullptr && kernels->is_array()) {
+    for (const util::JsonValue& kernel : kernels->as_array()) {
+      const std::string name = kernel.get_string_or("name", "");
+      if (name.empty()) continue;
+      SeriesKey key;
+      key.metric = "kernel_ns/" + name;
+      key.model = model;
+      key.device = device;
+      key.solver = kernel_solver;
+      set.add(key, cells, kernel.get_number_or("total_ns", 0.0));
+      ++added;
+    }
+  }
+  if (added == 0) bad_input(path, "tl-report-1 with no usable samples");
+  return added;
+}
+
+std::size_t ingest_fusion(SampleSet& set, const std::string& path,
+                          const util::JsonValue& doc) {
+  const double mesh = doc.get_number_or("mesh", 0.0);
+  if (mesh <= 0.0) bad_input(path, "fusion artifact without a mesh");
+  const util::JsonValue* cells = doc.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    bad_input(path, "fusion artifact without cells");
+  }
+  std::size_t added = 0;
+  for (const util::JsonValue& cell : cells->as_array()) {
+    const double fused = cell.get_number_or("fused_seconds", 0.0);
+    const double unfused = cell.get_number_or("unfused_seconds", 0.0);
+    if (fused <= 0.0 || unfused <= 0.0) continue;
+    SeriesKey key;
+    key.metric = "fusion_ratio";
+    key.model = cell.get_string_or("model", "");
+    key.device = cell.get_string_or("device", "");
+    key.solver = cell.get_string_or("solver", "");
+    set.add(key, mesh * mesh, unfused / fused);
+    ++added;
+  }
+  if (added == 0) bad_input(path, "fusion artifact with no usable cells");
+  return added;
+}
+
+std::size_t ingest_overlap(SampleSet& set, const std::string& path,
+                           const util::JsonValue& doc) {
+  const util::JsonValue* cells = doc.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    bad_input(path, "overlap artifact without cells");
+  }
+  // The fig13 bench runs the paper's omp3/cpu configuration; the artifact
+  // predates per-cell model/device fields, so default to that pair.
+  const std::string model = doc.get_string_or("model", "omp3");
+  const std::string device = doc.get_string_or("device", "cpu");
+  std::size_t added = 0;
+  for (const util::JsonValue& cell : cells->as_array()) {
+    const double ranks = cell.get_number_or("ranks", 0.0);
+    if (ranks <= 1.0) continue;  // single rank hides nothing by definition
+    SeriesKey key;
+    key.metric = "hidden_fraction";
+    key.model = model;
+    key.device = device;
+    key.solver = cell.get_string_or("solver", "");
+    key.variant = cell.get_string_or("scaling", "");
+    key.x = "ranks";
+    set.add(key, ranks, cell.get_number_or("hidden_fraction", 0.0));
+    ++added;
+  }
+  if (added == 0) bad_input(path, "overlap artifact with no usable cells");
+  return added;
+}
+
+}  // namespace
+
+std::size_t ingest_file(SampleSet& set, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad_input(path, "cannot open");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::size_t start = text.find_first_not_of(" \t\r\n");
+  if (start == std::string::npos) bad_input(path, "empty file");
+
+  if (text[start] == '{') {
+    const util::JsonValue doc = util::parse_json(text);
+    if (doc.get_string_or("schema", "") == "tl-report-1") {
+      return ingest_run_report(set, path, doc);
+    }
+    const std::string bench = doc.get_string_or("bench", "");
+    if (bench == "fusion") return ingest_fusion(set, path, doc);
+    if (bench == "fig13_overlap") return ingest_overlap(set, path, doc);
+    bad_input(path, "unrecognized JSON artifact (schema/bench tag)");
+  }
+
+  std::istringstream stream(text);
+  const CsvDoc doc = read_csv(path, stream);
+  if (doc.has("model") && doc.has("device") && doc.has("cells") &&
+      doc.has("seconds")) {
+    return ingest_fig11(set, path, doc);
+  }
+  if (doc.has("model") && doc.has("solver") && doc.has("seconds") &&
+      doc.has("outer_iterations")) {
+    return ingest_device_figure(set, path, doc);
+  }
+  if (doc.has("scaling") && doc.has("mode") && doc.has("ranks") &&
+      doc.has("total_s")) {
+    return ingest_fig13(set, path, doc);
+  }
+  bad_input(path, "unrecognized CSV header");
+}
+
+ModelCatalog fit_samples(SampleSet& set, int min_points) {
+  ModelCatalog catalog;
+  for (const auto& [joined, entry] : set.series) {
+    const auto& [key, points] = entry;
+    if (static_cast<int>(points.size()) < min_points) {
+      // The note is deliberately not fatal: a partial input set still
+      // yields a usable (if smaller) catalog.
+      set.notes.push_back(
+          util::strf("skipped %s: %zu point(s) < min %d", joined.c_str(),
+                     points.size(), min_points));
+      continue;
+    }
+    const FitOutcome outcome = fit_series(points);
+    FittedSeries series;
+    series.key = key;
+    series.fit = outcome.fit;
+    series.quality = outcome.quality;
+    series.x_min = outcome.x_min;
+    series.x_max = outcome.x_max;
+    catalog.put(std::move(series));
+  }
+  return catalog;
+}
+
+}  // namespace tl::tune

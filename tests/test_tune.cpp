@@ -1,0 +1,539 @@
+// Auto-tuning battery (src/tune): fitter ground-truth recovery, degenerate
+// fallbacks, predictor composition against hand-computed sums, planner
+// determinism, strict tl-models-1 parsing, and a service-planner mini-soak.
+//
+// The fitter tests are the battery's anchor: synthetic series generated
+// from a known (c0, c1, a, b) term plus bounded deterministic noise must
+// come back with the exact lattice exponents and coefficients within a few
+// percent — the cross-validated selection is only trustworthy if it can
+// re-derive a curve it was told the answer to.
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/entry.hpp"
+#include "service/job.hpp"
+#include "service/pool.hpp"
+#include "sim/network.hpp"
+#include "tune/fitter.hpp"
+#include "tune/ingest.hpp"
+#include "tune/planner.hpp"
+#include "tune/predictor.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace tl;
+
+/// Deterministic bounded noise in [-half, +half] — a fixed multiplicative
+/// hash, not an RNG, so every run fits the identical series.
+double noise(std::size_t i, double half) {
+  const std::uint32_t h = static_cast<std::uint32_t>(i + 1) * 2654435761u;
+  return (static_cast<double>(h % 10'000) / 10'000.0 - 0.5) * 2.0 * half;
+}
+
+std::vector<tune::SamplePoint> synth_series(double c0, double c1, double a,
+                                            int b, double noise_half) {
+  std::vector<tune::SamplePoint> pts;
+  for (double x = 64.0; x <= 65'536.0; x *= 2.0) {
+    const double term = c1 * std::pow(x, a) * std::pow(std::log2(x), b);
+    pts.push_back({x, (c0 + term) * (1.0 + noise(pts.size(), noise_half))});
+  }
+  return pts;
+}
+
+void expect_finite(const tune::FitOutcome& out) {
+  EXPECT_TRUE(std::isfinite(out.fit.c0));
+  EXPECT_TRUE(std::isfinite(out.fit.c1));
+  EXPECT_TRUE(std::isfinite(out.fit.a));
+  EXPECT_TRUE(std::isfinite(out.quality.r2));
+  EXPECT_TRUE(std::isfinite(out.quality.rel_rss));
+  EXPECT_TRUE(std::isfinite(out.quality.cv_rel_err));
+  EXPECT_TRUE(std::isfinite(out.quality.cv_max_rel_err));
+  for (const double x : {1.0, 64.0, 4096.0, 1e6}) {
+    EXPECT_TRUE(std::isfinite(out.fit.eval(x))) << "eval at x=" << x;
+  }
+}
+
+// -- Fitter: ground-truth recovery ------------------------------------------
+
+struct GroundTruth {
+  double c0, c1, a;
+  int b;
+};
+
+TEST(TuneFitter, RecoversKnownExponentsUnderNoise) {
+  const GroundTruth cases[] = {
+      {1e-3, 2.5e-6, 1.0, 0},   // linear: bandwidth-bound sweep
+      {5e-4, 4.0e-7, 1.0, 1},   // n log n: reduction tree
+      {0.0, 3.0e-9, 2.0, 0},    // quadratic: dense coupling
+      {2e-3, 6.0e-5, 0.5, 0},   // sqrt: CG iterations vs cells
+      {1e-4, 1.5e-8, 1.5, 0},   // superlinear bend
+  };
+  for (const GroundTruth& gt : cases) {
+    const auto pts = synth_series(gt.c0, gt.c1, gt.a, gt.b, 0.005);
+    const tune::FitOutcome out = tune::fit_series(pts);
+    expect_finite(out);
+    EXPECT_DOUBLE_EQ(out.fit.a, gt.a)
+        << "wrong exponent for truth a=" << gt.a << " b=" << gt.b;
+    EXPECT_EQ(out.fit.b, gt.b)
+        << "wrong log power for truth a=" << gt.a << " b=" << gt.b;
+    EXPECT_NEAR(out.fit.c1, gt.c1, std::abs(gt.c1) * 0.05);
+    EXPECT_FALSE(out.quality.fallback);
+    EXPECT_EQ(out.quality.points, static_cast<int>(pts.size()));
+    // In-sample quality must reflect the sub-percent noise floor.
+    EXPECT_LT(out.quality.cv_rel_err, 0.05);
+  }
+}
+
+TEST(TuneFitter, RecoversLogOnlySeries) {
+  // y = c0 + c1 * log2(x): the a=0, b=1 lattice cell (the excluded
+  // degenerate cell is only (a=0, b=0)).
+  const auto pts = synth_series(0.01, 2e-3, 0.0, 1, 0.002);
+  const tune::FitOutcome out = tune::fit_series(pts);
+  expect_finite(out);
+  EXPECT_DOUBLE_EQ(out.fit.a, 0.0);
+  EXPECT_EQ(out.fit.b, 1);
+}
+
+TEST(TuneFitter, NoiselessFitIsExactAtSamplePoints) {
+  const auto pts = synth_series(1e-3, 2.5e-6, 1.0, 0, 0.0);
+  const tune::FitOutcome out = tune::fit_series(pts);
+  for (const tune::SamplePoint& p : pts) {
+    EXPECT_NEAR(out.fit.eval(p.x), p.y, p.y * 1e-9);
+  }
+  EXPECT_GT(out.quality.r2, 1.0 - 1e-12);
+}
+
+// -- Fitter: degenerate inputs must fall back, never NaN or throw -----------
+
+TEST(TuneFitter, EmptySeriesFallsBack) {
+  tune::FitOutcome out;
+  ASSERT_NO_THROW(out = tune::fit_series({}));
+  expect_finite(out);
+  EXPECT_TRUE(out.quality.fallback);
+  EXPECT_EQ(out.quality.points, 0);
+}
+
+TEST(TuneFitter, SinglePointBecomesConstant) {
+  tune::FitOutcome out;
+  ASSERT_NO_THROW(out = tune::fit_series({{128.0, 0.42}}));
+  expect_finite(out);
+  EXPECT_TRUE(out.quality.fallback);
+  EXPECT_TRUE(out.fit.is_constant());
+  EXPECT_NEAR(out.fit.eval(128.0), 0.42, 1e-12);
+  EXPECT_NEAR(out.fit.eval(4096.0), 0.42, 1e-12);  // flat extrapolation
+}
+
+TEST(TuneFitter, ConstantSeriesStaysConstant) {
+  std::vector<tune::SamplePoint> pts;
+  for (double x = 16; x <= 1024; x *= 2) pts.push_back({x, 7.5});
+  const tune::FitOutcome out = tune::fit_series(pts);
+  expect_finite(out);
+  EXPECT_TRUE(out.fit.is_constant());
+  EXPECT_NEAR(out.fit.eval(123.0), 7.5, 1e-12);
+  EXPECT_DOUBLE_EQ(out.quality.cv_rel_err, 0.0);
+}
+
+TEST(TuneFitter, IdenticalXFallsBack) {
+  tune::FitOutcome out;
+  ASSERT_NO_THROW(
+      out = tune::fit_series({{256.0, 1.0}, {256.0, 2.0}, {256.0, 3.0}}));
+  expect_finite(out);
+  EXPECT_TRUE(out.quality.fallback);
+}
+
+TEST(TuneFitter, ZeroValuedPointsDoNotPoisonTheFit) {
+  // A comm_s-shaped series: structurally zero at the first point. The
+  // relative-error weights are floored, so this must fit finite — not NaN
+  // from a 1/0^2 weight.
+  const std::vector<tune::SamplePoint> pts = {
+      {1.0, 0.0}, {2.0, 0.11}, {4.0, 0.34}, {8.0, 0.81}};
+  tune::FitOutcome out;
+  ASSERT_NO_THROW(out = tune::fit_series(pts));
+  expect_finite(out);
+  EXPECT_GE(out.fit.eval(8.0), 0.0);
+}
+
+TEST(TuneFitter, NonFinitePointsAreDropped) {
+  const double nan = std::nan("");
+  const std::vector<tune::SamplePoint> pts = {
+      {64.0, 1.0},  {nan, 2.0},   {128.0, nan}, {-4.0, 3.0},
+      {256.0, 4.0}, {512.0, 8.0}, {1024.0, 16.0}};
+  tune::FitOutcome out;
+  ASSERT_NO_THROW(out = tune::fit_series(pts));
+  expect_finite(out);
+  EXPECT_EQ(out.quality.points, 4);  // the finite, x > 0 subset
+}
+
+// -- Predictor: composition against hand-computed sums ----------------------
+
+tune::FittedSeries make_series(const tune::SeriesKey& key, double c0,
+                               double c1, double a, int b, double x_min,
+                               double x_max) {
+  tune::FittedSeries s;
+  s.key = key;
+  s.fit.c0 = c0;
+  s.fit.c1 = c1;
+  s.fit.a = a;
+  s.fit.b = b;
+  s.x_min = x_min;
+  s.x_max = x_max;
+  s.quality.points = 5;
+  return s;
+}
+
+TEST(TunePredictor, KernelCompositionMatchesHandSum) {
+  tune::ModelCatalog catalog;
+  // 10 ns/cell streaming kernel + a 5 us constant-launch kernel.
+  catalog.put(make_series({"kernel_ns/matvec", "omp3", "cpu", "all", "", "cells"},
+                          0.0, 10.0, 1.0, 0, 1e2, 1e6));
+  catalog.put(make_series({"kernel_ns/reduce", "omp3", "cpu", "all", "", "cells"},
+                          5000.0, 0.0, 0.0, 0, 1e2, 1e6));
+
+  tune::PredictQuery q;
+  q.model = "omp3";
+  q.device = "cpu";
+  q.solver = "CG";
+  q.nx = 100;  // cells = 1e4, inside both domains
+  const tune::Prediction p = tune::predict(catalog, q);
+  ASSERT_TRUE(p.ok) << p.error;
+  const double expected = (10.0 * 1e4 + 5000.0) * 1e-9;
+  EXPECT_NEAR(p.seconds, expected, expected * 1e-12);
+  EXPECT_FALSE(p.extrapolated);
+  // Both kernels must appear in the basis trail.
+  EXPECT_NE(p.basis.find("kernel_ns/matvec"), std::string::npos);
+  EXPECT_NE(p.basis.find("kernel_ns/reduce"), std::string::npos);
+}
+
+TEST(TunePredictor, TotalSeriesWithCommTermMatchesHandSum) {
+  tune::ModelCatalog catalog;
+  // total_s = 1e-7 * cells, iters = 2 * sqrt(cells).
+  catalog.put(make_series({"total_s", "omp3", "cpu", "CG", "", "cells"}, 0.0,
+                          1e-7, 1.0, 0, 1e2, 1e8));
+  catalog.put(make_series({"iters", "omp3", "cpu", "CG", "", "cells"}, 0.0,
+                          2.0, 0.5, 0, 1e2, 1e8));
+
+  tune::PredictQuery q;
+  q.model = "omp3";
+  q.device = "cpu";
+  q.solver = "CG";
+  q.nx = 1000;
+  q.ranks = 4;
+  q.overlap_comm = false;
+  const tune::Prediction p = tune::predict(catalog, q);
+  ASSERT_TRUE(p.ok) << p.error;
+
+  const double cells = 1000.0 * 1000.0;
+  const double compute = 1e-7 * cells / 4.0;
+  const sim::NetworkSpec& net = sim::node_interconnect();
+  const double per_iter_ns =
+      sim::halo_exchange_ns(net, 2 * 1000 * sizeof(double), 2) +
+      2.0 * sim::allreduce_ns(net, 2 * sizeof(double), 4);
+  const double comm = 2.0 * std::sqrt(cells) * per_iter_ns * 1e-9;
+  EXPECT_NEAR(p.compute_s, compute, compute * 1e-12);
+  EXPECT_NEAR(p.comm_s, comm, comm * 1e-12);
+  EXPECT_NEAR(p.seconds, compute + comm, (compute + comm) * 1e-12);
+}
+
+TEST(TunePredictor, DirectRankSeriesWinsAndFusionRatioApplies) {
+  tune::ModelCatalog catalog;
+  // Direct strong-scaling curve at nx=128: total_s = 8 / ranks.
+  catalog.put(make_series(
+      {"total_s", "omp3", "cpu", "CG", "strong-overlap-128", "ranks"}, 0.0,
+      8.0, -1.0, 0, 1.0, 8.0));
+  // Per-cell series that must NOT be used for the rank query.
+  catalog.put(make_series({"total_s", "omp3", "cpu", "CG", "", "cells"}, 0.0,
+                          1e-3, 1.0, 0, 1e2, 1e6));
+  catalog.put(make_series({"fusion_ratio", "omp3", "cpu", "CG", "", "cells"},
+                          2.0, 0.0, 0.0, 0, 1e2, 1e6));
+
+  tune::PredictQuery q;
+  q.model = "omp3";
+  q.device = "cpu";
+  q.solver = "CG";
+  q.nx = 128;
+  q.ranks = 4;
+  q.overlap_comm = true;
+  const tune::Prediction direct = tune::predict(catalog, q);
+  ASSERT_TRUE(direct.ok);
+  EXPECT_NEAR(direct.seconds, 2.0, 2e-12);  // 8 / 4, tier 1
+
+  // A mesh with no direct curve falls to the per-cell tier; unfused doubles
+  // the estimate through the fitted fusion ratio.
+  q.nx = 200;  // cells 4e4
+  q.ranks = 1;
+  const tune::Prediction fused = tune::predict(catalog, q);
+  q.use_fused = false;
+  const tune::Prediction unfused = tune::predict(catalog, q);
+  ASSERT_TRUE(fused.ok);
+  ASSERT_TRUE(unfused.ok);
+  EXPECT_NEAR(fused.seconds, 1e-3 * 4e4, 1e-12 * 4e1);
+  EXPECT_NEAR(unfused.seconds, 2.0 * fused.seconds, fused.seconds * 1e-9);
+}
+
+TEST(TunePredictor, ExtrapolationIsFlaggedAndMissingBasisErrors) {
+  tune::ModelCatalog catalog;
+  catalog.put(make_series({"total_s", "omp3", "cpu", "CG", "", "cells"}, 0.0,
+                          1e-7, 1.0, 0, 1e4, 1e6));
+  tune::PredictQuery q;
+  q.model = "omp3";
+  q.device = "cpu";
+  q.solver = "CG";
+  q.nx = 4096;  // cells 1.7e7 > x_max
+  const tune::Prediction beyond = tune::predict(catalog, q);
+  ASSERT_TRUE(beyond.ok);
+  EXPECT_TRUE(beyond.extrapolated);
+
+  q.model = "cuda";
+  q.device = "gpu";
+  const tune::Prediction missing = tune::predict(catalog, q);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_FALSE(missing.error.empty());
+}
+
+// -- Planner: argmin and determinism ----------------------------------------
+
+tune::ModelCatalog two_model_catalog(double omp3_per_cell,
+                                     double kokkos_per_cell) {
+  tune::ModelCatalog catalog;
+  catalog.put(make_series({"total_s", "omp3", "cpu", "CG", "", "cells"}, 0.0,
+                          omp3_per_cell, 1.0, 0, 1e2, 1e7));
+  catalog.put(make_series({"total_s", "kokkos", "cpu", "CG", "", "cells"}, 0.0,
+                          kokkos_per_cell, 1.0, 0, 1e2, 1e7));
+  return catalog;
+}
+
+TEST(TunePlanner, PicksThePredictedFastestAndIsDeterministic) {
+  const tune::ModelCatalog catalog = two_model_catalog(2e-7, 1e-7);
+  tune::PlanQuery q;
+  q.nx = 512;
+  q.device = "cpu";
+  const tune::PlanResult first = tune::choose_config(catalog, q);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.best.model, "kokkos");  // half the per-cell cost
+  ASSERT_GE(first.ranked.size(), 2u);
+  EXPECT_LE(first.ranked[0].predicted.seconds,
+            first.ranked[1].predicted.seconds);
+
+  // Re-planning the identical query must reproduce the ranking exactly.
+  const tune::PlanResult second = tune::choose_config(catalog, q);
+  ASSERT_TRUE(second.ok);
+  ASSERT_EQ(first.ranked.size(), second.ranked.size());
+  for (std::size_t i = 0; i < first.ranked.size(); ++i) {
+    EXPECT_EQ(first.ranked[i].model, second.ranked[i].model);
+    EXPECT_EQ(first.ranked[i].device, second.ranked[i].device);
+    EXPECT_EQ(first.ranked[i].ranks, second.ranked[i].ranks);
+    EXPECT_DOUBLE_EQ(first.ranked[i].predicted.seconds,
+                     second.ranked[i].predicted.seconds);
+  }
+}
+
+TEST(TunePlanner, TiesKeepEnumerationOrder) {
+  // Identical curves: the pick must be the earlier kAllModels entry (omp3
+  // precedes kokkos), a pure function of (catalog, query).
+  const tune::ModelCatalog catalog = two_model_catalog(1e-7, 1e-7);
+  tune::PlanQuery q;
+  q.nx = 512;
+  q.device = "cpu";
+  const tune::PlanResult plan = tune::choose_config(catalog, q);
+  ASSERT_TRUE(plan.ok);
+  EXPECT_EQ(plan.best.model, "omp3");
+}
+
+TEST(TunePlanner, PinsAreRespectedAndBadPinsError) {
+  const tune::ModelCatalog catalog = two_model_catalog(2e-7, 1e-7);
+  tune::PlanQuery q;
+  q.nx = 512;
+  q.model = "omp3";  // pinned to the slower model on purpose
+  q.device = "cpu";
+  const tune::PlanResult pinned = tune::choose_config(catalog, q);
+  ASSERT_TRUE(pinned.ok);
+  EXPECT_EQ(pinned.best.model, "omp3");
+
+  q.model = "not_a_model";
+  const tune::PlanResult bad = tune::choose_config(catalog, q);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("not_a_model"), std::string::npos);
+}
+
+// -- Catalog: strict tl-models-1 parsing ------------------------------------
+
+TEST(TuneCatalog, RoundTripsThroughJson) {
+  const tune::ModelCatalog catalog = two_model_catalog(2e-7, 1e-7);
+  const std::string json = catalog.to_json();
+  const tune::ModelCatalog back =
+      tune::ModelCatalog::from_json(util::parse_json(json));
+  ASSERT_EQ(back.size(), catalog.size());
+  for (const auto& [key, s] : catalog.series()) {
+    const tune::FittedSeries* b = back.find(s.key);
+    ASSERT_NE(b, nullptr) << key;
+    EXPECT_DOUBLE_EQ(b->fit.c0, s.fit.c0);
+    EXPECT_DOUBLE_EQ(b->fit.c1, s.fit.c1);
+    EXPECT_DOUBLE_EQ(b->fit.a, s.fit.a);
+    EXPECT_EQ(b->fit.b, s.fit.b);
+  }
+}
+
+TEST(TuneCatalog, RejectsMalformedDocuments) {
+  const char* bad_docs[] = {
+      // Wrong schema tag.
+      R"({"schema":"tl-models-0","series":[]})",
+      // Missing schema entirely.
+      R"({"series":[]})",
+      // Series is not an array.
+      R"({"schema":"tl-models-1","series":{}})",
+      // Entry missing its fit block.
+      R"({"schema":"tl-models-1","series":[{"key":{"metric":"total_s",
+          "model":"omp3","device":"cpu","solver":"CG","variant":"",
+          "x":"cells"}}]})",
+      // Non-finite coefficient smuggled as a string.
+      R"({"schema":"tl-models-1","series":[{"key":{"metric":"total_s",
+          "model":"omp3","device":"cpu","solver":"CG","variant":"",
+          "x":"cells"},"fit":{"c0":"inf","c1":0,"a":1,"b":0},
+          "quality":{"r2":1,"rel_rss":0,"cv_rel_err":0,"cv_max_rel_err":0,
+          "points":3,"fallback":false},"domain":{"x_min":1,"x_max":10}}]})",
+  };
+  for (const char* doc : bad_docs) {
+    util::JsonValue parsed;
+    ASSERT_NO_THROW(parsed = util::parse_json(doc)) << doc;
+    EXPECT_THROW(tune::ModelCatalog::from_json(parsed), std::runtime_error)
+        << doc;
+  }
+  EXPECT_THROW(tune::ModelCatalog::load("/nonexistent/models.json"),
+               std::runtime_error);
+}
+
+// -- Service planner: config validation + mini-soak --------------------------
+
+TEST(TuneService, PlannerConfigValidation) {
+  service::ServiceConfig config;
+  config.planner.enabled = true;  // no catalog
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config.planner.catalog = std::make_shared<tune::ModelCatalog>();
+  config.planner.large_seconds_threshold = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config.planner.large_seconds_threshold = 1e-3;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(TuneService, PlannerMiniSoakStaysBitIdentical) {
+  // Calibrate a two-pair catalog from standalone runs, then push a small
+  // mixed deck through a planner-enabled service with model and device
+  // freed. Every result must be bit-identical to a standalone twin of the
+  // scenario that actually ran, and every planner decision must be metered.
+  struct Pair {
+    sim::Model model;
+    sim::DeviceId device;
+  };
+  const Pair pairs[] = {
+      {sim::Model::kOmp3Cpp, sim::DeviceId::kCpuSandyBridge},
+      {sim::Model::kKokkos, sim::DeviceId::kCpuSandyBridge},
+  };
+  const auto scenario_for = [](const Pair& pair, int nx) {
+    service::Scenario s;
+    s.settings = core::Settings::default_problem();
+    s.settings.nx = s.settings.ny = nx;
+    s.settings.eps = 1e-6;
+    s.settings.max_iters = 100;
+    s.settings.end_step = 1;
+    s.model = pair.model;
+    s.device = pair.device;
+    return s;
+  };
+
+  tune::SampleSet samples;
+  for (const Pair& pair : pairs) {
+    for (const int nx : {16, 24, 32}) {
+      const service::ScenarioOutcome out =
+          service::run_scenario(scenario_for(pair, nx));
+      tune::SeriesKey key{"total_s", std::string(sim::model_id(pair.model)),
+                          std::string(sim::device_short_name(pair.device)),
+                          "CG", "", "cells"};
+      samples.add(key, static_cast<double>(nx) * nx,
+                  out.run.sim_total_seconds);
+    }
+  }
+
+  service::ServiceConfig config;
+  config.small_workers = 2;
+  config.large_workers = 1;
+  config.planner.enabled = true;
+  config.planner.catalog =
+      std::make_shared<const tune::ModelCatalog>(tune::fit_samples(samples));
+  config.planner.large_seconds_threshold = 1e-3;
+  config.validate();
+
+  constexpr int kJobs = 24;
+  service::SolveService svc(config);
+  for (int i = 0; i < kJobs; ++i) {
+    service::Job job;
+    job.tenant = i % 2 == 0 ? "even" : "odd";
+    job.scenario = scenario_for(pairs[i % 2], 16 + 8 * (i % 3));
+    job.plan_model_free = true;
+    job.plan_device_free = true;
+    svc.submit(std::move(job));
+  }
+  const service::ServiceReport report = svc.finish();
+
+  ASSERT_EQ(report.results.size(), static_cast<std::size_t>(kJobs));
+  EXPECT_TRUE(report.all_ok());
+  std::map<std::string, service::ScenarioOutcome> twins;
+  for (const service::JobResult& r : report.results) {
+    const std::string key = r.scenario.key();
+    auto it = twins.find(key);
+    if (it == twins.end()) {
+      it = twins.emplace(key, service::run_scenario(r.scenario)).first;
+    }
+    EXPECT_EQ(r.u_checksum.sum, it->second.u_checksum.sum) << key;
+    EXPECT_EQ(r.u_checksum.l2, it->second.u_checksum.l2) << key;
+    EXPECT_EQ(r.energy_checksum.sum, it->second.energy_checksum.sum) << key;
+  }
+  EXPECT_EQ(report.metrics.counter_or("tl_planner_jobs"),
+            static_cast<double>(kJobs));
+  EXPECT_EQ(report.metrics.counter_or("tl_planner_planned"),
+            static_cast<double>(kJobs));
+  EXPECT_EQ(report.metrics.counter_or("tl_planner_routed_large") +
+                report.metrics.counter_or("tl_planner_routed_small") +
+                report.metrics.counter_or("tl_planner_route_fallback"),
+            static_cast<double>(kJobs));
+  // With every pair calibrated, the planner always had a basis to fill the
+  // freed fields with — the chosen model/device must be a calibrated pair.
+  for (const service::JobResult& r : report.results) {
+    EXPECT_EQ(std::string(sim::device_short_name(r.scenario.device)), "cpu");
+  }
+}
+
+TEST(TuneService, PlannerOffIsByteForByteLegacyRouting) {
+  // The planner disabled must leave the static cell-count rule (and the
+  // metrics surface) untouched: no tl_planner_* counters appear.
+  service::ServiceConfig config;
+  config.small_workers = 1;
+  config.large_workers = 1;
+  service::SolveService svc(config);
+  service::Job job;
+  job.tenant = "legacy";
+  job.scenario.settings = core::Settings::default_problem();
+  job.scenario.settings.nx = job.scenario.settings.ny = 16;
+  job.scenario.settings.eps = 1e-6;
+  job.scenario.settings.max_iters = 50;
+  job.scenario.settings.end_step = 1;
+  svc.submit(std::move(job));
+  const service::ServiceReport report = svc.finish();
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_TRUE(report.all_ok());
+  for (const auto& [key, value] : report.metrics.counters()) {
+    (void)value;
+    EXPECT_EQ(key.rfind("tl_planner_", 0), std::string::npos)
+        << "unexpected planner counter: " << key;
+  }
+}
+
+}  // namespace
